@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+The simulation benchmarks run scaled-down versions of the paper's
+experiments (the same regimes, smaller memory), print the regenerated
+rows/series, and assert the paper's qualitative shapes.  Simulation runs
+are deterministic, so each is measured with a single pedantic round; the
+micro-benchmarks (compressor throughput) use normal repeated timing.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow running from a source checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.exists() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def run_once(benchmark, fn):
+    """Time a deterministic simulation exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,39 @@
+"""Micro-benchmarks: raw compressor throughput on representative pages.
+
+These are the only benchmarks measuring host wall-clock (the simulation
+results never depend on it): they document the relative costs of the
+algorithms and verify the ordering assumptions (LZRW1 fastest of the LZ
+family; decompression faster than compression).
+"""
+
+import pytest
+
+from repro.compression import create
+from repro.workloads.contentgen import (
+    dp_band_values,
+    incompressible,
+    repeating_pattern,
+)
+
+PAGES = {
+    "dp": dp_band_values(1),
+    "tiled": repeating_pattern(1),
+    "random": incompressible(1),
+}
+
+
+@pytest.mark.parametrize("algorithm", ["lzrw1", "lzss", "wk", "rle"])
+@pytest.mark.parametrize("page", list(PAGES))
+def test_compress_throughput(benchmark, algorithm, page):
+    compressor = create(algorithm)
+    data = PAGES[page]
+    result = benchmark(compressor.compress, data)
+    assert compressor.decompress(result) == data
+
+
+@pytest.mark.parametrize("algorithm", ["lzrw1", "lzss", "wk"])
+def test_decompress_throughput(benchmark, algorithm):
+    compressor = create(algorithm)
+    result = compressor.compress(PAGES["dp"])
+    restored = benchmark(compressor.decompress, result)
+    assert restored == PAGES["dp"]

@@ -1,0 +1,49 @@
+"""Figure 1: analytic speedup surfaces.
+
+Regenerates both panels and checks the shapes the paper describes: the
+dark fast-compression/strong-ratio corner (speedups off the 6x scale),
+the 1-6x band, the slowdown region at the poor-compression edge, and
+panel (b)'s sharp leap when the compressed working set fits in memory.
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_figure1
+from repro.model.analytic import figure_1a, figure_1b, in_memory_speedup
+
+
+def test_figure_1a_surface(benchmark):
+    surface = run_once(benchmark, figure_1a)
+    # Dark top-left corner: speedups off the paper's 6x scale.
+    assert surface.at(16, 0.05) > 6.0
+    # Light middle band: ordinary 1-6x improvements.
+    assert 1.0 < surface.at(4, 0.3) < 6.0
+    # Darker right region: slowdown where pages barely compress.
+    assert surface.at(0.5, 0.95) < 1.0
+
+
+def test_figure_1b_surface(benchmark):
+    surface = run_once(benchmark, figure_1b)
+    assert surface.at(16, 0.25) > 6.0
+    assert surface.at(0.5, 0.95) < 1.0
+    # Keeping pages in memory beats pure bandwidth compression when the
+    # compressed set fits: compare panel (b) against panel (a).
+    panel_a = figure_1a()
+    assert surface.at(8, 0.4) > panel_a.at(8, 0.4)
+
+
+def test_figure_1b_sharp_leap(benchmark):
+    def leap():
+        fits = in_memory_speedup(0.5, 16.0, 1000, 2000)
+        overflow = in_memory_speedup(0.65, 16.0, 1000, 2000)
+        return fits, overflow
+
+    fits, overflow = run_once(benchmark, leap)
+    assert fits > 2.0 * overflow
+
+
+def test_render_figure1(benchmark, capsys):
+    text = run_once(benchmark, render_figure1)
+    print()
+    print(text)
+    assert "Figure 1(a)" in text and "Figure 1(b)" in text

@@ -1,0 +1,91 @@
+"""Paging into a log-structured file system (Sections 3, 5.1, 6).
+
+The paper: "Sprite LFS could alleviate the problem of seeks between
+pageouts by grouping multiple pages into a single segment.  However, it
+is not clear that paging into LFS would be desirable under heavy paging
+load.  LFS requires significant memory for buffers, and for LFS to clean
+segments containing swap files, it must copy more live blocks than for
+other types of data."
+
+Measured here:
+
+* LFS sharply improves the *unmodified* system's write-heavy paging
+  (batched segment writes replace per-page seeks);
+* under LFS the compression cache's relative advantage shrinks — the
+  cache's batched compressed writes were buying the same seek
+  amortization;
+* under heavy paging churn the LFS cleaner does real work (live-block
+  copying), the paper's stated concern.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.mem.page import mbytes
+from repro.sim.engine import SimulationEngine
+from repro.sim.machine import Machine, MachineConfig
+from repro.workloads import Thrasher
+
+MEMORY = mbytes(0.5)
+
+
+def run(filesystem: str, compression_cache: bool):
+    workload = Thrasher(int(MEMORY * 2.4), cycles=3, write=True)
+    machine = Machine(
+        MachineConfig(
+            memory_bytes=MEMORY,
+            filesystem=filesystem,
+            compression_cache=compression_cache,
+        ),
+        workload.build(),
+    )
+    result = SimulationEngine(machine).run(workload.references())
+    return result, machine
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return {
+        (fs, cc): run(fs, cc)
+        for fs in ("ufs", "lfs")
+        for cc in (False, True)
+    }
+
+
+def test_lfs_speeds_up_the_unmodified_system(benchmark, grid):
+    ufs, _ = run_once(benchmark, lambda: grid[("ufs", False)])
+    lfs, _ = grid[("lfs", False)]
+    print(f"\n  std paging: ufs={ufs.elapsed_seconds:.1f}s "
+          f"lfs={lfs.elapsed_seconds:.1f}s")
+    assert lfs.elapsed_seconds < ufs.elapsed_seconds
+
+
+def test_lfs_shrinks_the_compression_caches_edge(benchmark, grid):
+    def ratios():
+        ufs_gain = (grid[("ufs", False)][0].elapsed_seconds
+                    / grid[("ufs", True)][0].elapsed_seconds)
+        lfs_gain = (grid[("lfs", False)][0].elapsed_seconds
+                    / grid[("lfs", True)][0].elapsed_seconds)
+        return ufs_gain, lfs_gain
+
+    ufs_gain, lfs_gain = run_once(benchmark, ratios)
+    print(f"\n  cc speedup on ufs={ufs_gain:.2f}x, on lfs={lfs_gain:.2f}x")
+    assert lfs_gain < ufs_gain
+
+
+def test_cleaner_works_under_paging_churn(benchmark):
+    def churn():
+        workload = Thrasher(int(MEMORY * 2.0), cycles=6, write=True)
+        machine = Machine(
+            MachineConfig(memory_bytes=MEMORY, filesystem="lfs",
+                          compression_cache=False),
+            workload.build(),
+        )
+        SimulationEngine(machine).run(workload.references())
+        return machine.fs.counters
+
+    counters = run_once(benchmark, churn)
+    print(f"\n  segments written={counters.segments_written} "
+          f"cleaned={counters.segments_cleaned} "
+          f"live blocks copied={counters.live_blocks_copied}")
+    assert counters.segments_written > 0

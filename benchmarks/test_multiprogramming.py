@@ -1,0 +1,114 @@
+"""Multiprogrammed memory pressure (Section 3's collective address space).
+
+Several programs that each fit in memory alone can thrash together; the
+compression cache absorbs the interference when the collective working
+set fits compressed.  Also traces the Section 4.2 variable-allocation
+behaviour: the cache's size over time as pressure comes and goes.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.mem.page import mbytes
+from repro.sim.engine import SimulationEngine
+from repro.sim.machine import Machine, MachineConfig
+from repro.workloads import (
+    MultiProgramWorkload,
+    SyntheticWorkload,
+    Thrasher,
+)
+
+MEMORY = mbytes(0.7)
+
+
+def programs():
+    return [
+        SyntheticWorkload(mbytes(0.4), references=2000, seed=seed,
+                          hot_probability=0.9, hot_fraction=0.9)
+        for seed in (1, 2, 3)
+    ]
+
+
+def test_interference_and_rescue(benchmark):
+    def measure():
+        times = {}
+        for compression_cache in (False, True):
+            multi = MultiProgramWorkload(programs(), quantum=32)
+            machine = Machine(
+                MachineConfig(memory_bytes=MEMORY,
+                              compression_cache=compression_cache),
+                multi.build(),
+            )
+            result = SimulationEngine(machine).run(multi.references())
+            times[compression_cache] = result.elapsed_seconds
+        return times
+
+    times = run_once(benchmark, measure)
+    print(f"\n  3 programs on {MEMORY // 1024} KB: "
+          f"std={times[False]:.1f}s cc={times[True]:.1f}s "
+          f"({times[False] / times[True]:.2f}x)")
+    assert times[True] < times[False]
+
+
+def test_quantum_sweep(benchmark):
+    def sweep():
+        results = {}
+        for quantum in (8, 64, 512):
+            multi = MultiProgramWorkload(
+                [Thrasher(mbytes(0.4), cycles=3, write=True, seed=s)
+                 for s in (1, 2)],
+                quantum=quantum,
+            )
+            machine = Machine(
+                MachineConfig(memory_bytes=mbytes(0.5),
+                              compression_cache=False),
+                multi.build(),
+            )
+            results[quantum] = SimulationEngine(machine).run(
+                multi.references()
+            ).elapsed_seconds
+        return results
+
+    results = run_once(benchmark, sweep)
+    print("\n  std time by scheduling quantum:",
+          {q: f"{t:.1f}s" for q, t in results.items()})
+
+
+def test_cache_size_tracks_pressure(benchmark):
+    """The Section 4.2 claim rendered as a time series: the cache grows
+    under pressure and stays small without it."""
+    def trace_growth():
+        # Phase 1: a small in-memory phase; phase 2: a thrashing phase.
+        small = Thrasher(int(MEMORY * 0.4), cycles=2, write=True, seed=1)
+        big = Thrasher(int(MEMORY * 2.0), cycles=2, write=True, seed=2)
+        multi = MultiProgramWorkload([small], quantum=64)
+        machine = Machine(
+            MachineConfig(memory_bytes=MEMORY), multi.build()
+        )
+        engine = SimulationEngine(machine)
+        sizes = []
+        engine.run(
+            multi.references(),
+            observer=lambda m, i: sizes.append(m.ccache.nframes),
+            observe_every=64,
+        )
+        quiet_peak = max(sizes, default=0)
+
+        big_multi = MultiProgramWorkload([big], quantum=64)
+        machine2 = Machine(
+            MachineConfig(memory_bytes=MEMORY), big_multi.build()
+        )
+        sizes2 = []
+        SimulationEngine(machine2).run(
+            big_multi.references(),
+            observer=lambda m, i: sizes2.append(m.ccache.nframes),
+            observe_every=64,
+        )
+        pressured_peak = max(sizes2, default=0)
+        return quiet_peak, pressured_peak
+
+    quiet_peak, pressured_peak = run_once(benchmark, trace_growth)
+    print(f"\n  cache frames: quiet phase peak={quiet_peak}, "
+          f"thrashing phase peak={pressured_peak}")
+    assert quiet_peak <= 1          # stays out of the way
+    assert pressured_peak > 10      # grows under pressure

@@ -1,0 +1,71 @@
+"""Page-size sensitivity (Section 3's compression-ratio lever).
+
+The paper's system is pinned at 4-KByte pages by the DECstation MMU and
+the Sprite block size; the simulator is not.  Larger pages give the LZ
+window more context (better ratios) but cost more per fault
+((de)compression is linear in page size and transfers grow); smaller
+pages fault cheaper but compress worse and double the per-page metadata
+fraction.
+"""
+
+import statistics
+
+import pytest
+from conftest import run_once
+
+from repro.compression import create
+from repro.mem.page import mbytes
+from repro.sim.engine import SimulationEngine
+from repro.sim.machine import Machine, MachineConfig
+from repro.workloads import Thrasher
+from repro.workloads.contentgen import dp_band_values
+
+PAGE_SIZES = (2048, 4096, 8192, 16384)
+
+
+def test_ratio_improves_with_page_size(benchmark):
+    lzrw1 = create("lzrw1")
+
+    def measure():
+        ratios = {}
+        for page_size in PAGE_SIZES:
+            samples = [
+                lzrw1.compress(
+                    dp_band_values(n, page_size=page_size)
+                ).ratio
+                for n in range(12)
+            ]
+            ratios[page_size] = statistics.mean(samples)
+        return ratios
+
+    ratios = run_once(benchmark, measure)
+    print("\n  LZRW1 ratio by page size:",
+          {size: f"{ratio:.3f}" for size, ratio in ratios.items()})
+    # More context never hurts an LZ coder on this data.
+    ordered = [ratios[size] for size in PAGE_SIZES]
+    assert ordered[0] >= ordered[-1]
+
+
+@pytest.mark.parametrize("page_size", PAGE_SIZES)
+def test_end_to_end_by_page_size(benchmark, page_size):
+    def measure():
+        times = {}
+        for compression_cache in (False, True):
+            workload = Thrasher(
+                mbytes(1.2), cycles=2, write=True, page_size=page_size
+            )
+            machine = Machine(
+                MachineConfig(memory_bytes=mbytes(0.5),
+                              page_size=page_size,
+                              fragment_size=page_size // 4,
+                              batch_bytes=page_size * 8,
+                              compression_cache=compression_cache),
+                workload.build(),
+            )
+            result = SimulationEngine(machine).run(workload.references())
+            times[compression_cache] = result.elapsed_seconds
+        return times[False] / times[True]
+
+    speedup = run_once(benchmark, measure)
+    print(f"\n  {page_size}-byte pages: cc speedup {speedup:.2f}x")
+    assert speedup > 1.0

@@ -1,0 +1,77 @@
+"""Table 1: application speedups under the compression cache.
+
+Regenerates all seven rows at a reduced scale (same memory-pressure
+regimes, smaller memory) and checks the paper's qualitative results:
+
+* compare is the best case (sequential passes, 3:1 compression);
+* isca and sort partial also win;
+* sort random and the three gold runs lose (poor compression and/or
+  locality that the cache's memory appetite disrupts);
+* the compressibility columns land in each application's band.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import PAPER_TABLE1, render_table1, table1_row
+
+SCALE = 0.05
+
+_ROWS = {}
+
+
+def _row(name):
+    if name not in _ROWS:
+        _ROWS[name] = table1_row(name, scale=SCALE)
+    return _ROWS[name]
+
+
+@pytest.mark.parametrize("name", list(PAPER_TABLE1))
+def test_row(benchmark, name):
+    row = run_once(benchmark, lambda: _row(name))
+    print()
+    print(render_table1([row]))
+    paper_speedup = PAPER_TABLE1[name][2]
+    if paper_speedup >= 1.2:
+        assert row.speedup > 1.1, f"{name} should clearly win"
+    elif paper_speedup < 1.0:
+        assert row.speedup < 1.05, f"{name} should not win"
+
+
+def test_ordering_best_case_is_compare(benchmark):
+    best = run_once(benchmark, lambda: _row("compare").speedup)
+    assert best == max(_row(name).speedup for name in PAPER_TABLE1)
+
+
+def test_winners_beat_losers(benchmark):
+    winners = run_once(
+        benchmark,
+        lambda: min(_row(n).speedup
+                    for n in ("compare", "isca", "sort_partial")),
+    )
+    losers = max(_row(n).speedup for n in
+                 ("gold_create", "gold_cold", "gold_warm", "sort_random"))
+    assert winners > losers
+
+
+def test_compressibility_columns(benchmark):
+    run_once(benchmark, lambda: None)
+    # compare/isca ~3:1 with almost no uncompressible pages.
+    for name in ("compare", "isca"):
+        row = _row(name)
+        assert 25.0 < row.ratio_percent < 40.0
+        assert row.uncompressible_percent < 5.0
+    # sort random: nearly everything misses the 4:3 threshold.
+    assert _row("sort_random").uncompressible_percent > 90.0
+    # sort partial: about half misses it.
+    assert 35.0 < _row("sort_partial").uncompressible_percent < 65.0
+    # gold: roughly 2:1 on kept pages.
+    assert 50.0 < _row("gold_warm").ratio_percent < 75.0
+
+
+def test_full_table_rendering(benchmark):
+    rows = run_once(
+        benchmark, lambda: [_row(name) for name in PAPER_TABLE1]
+    )
+    print()
+    print(render_table1(rows))

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload on both systems and compare.
+
+This is the paper's core claim in ~30 lines: a memory-intensive program
+whose pages compress well runs two to three times faster when LRU pages
+are compressed and retained in memory instead of being paged to disk.
+"""
+
+from repro import Machine, MachineConfig, SimulationEngine
+from repro.mem.page import mbytes
+from repro.workloads import Thrasher
+
+
+def main() -> None:
+    memory = mbytes(2)
+    working_set = mbytes(5)  # ~2.5x physical memory, compresses ~4:1
+
+    print(f"memory: {memory // 1024} KB, working set: "
+          f"{working_set // 1024} KB\n")
+
+    results = {}
+    for compression_cache in (False, True):
+        # A fresh workload per machine: both runs replay the identical
+        # reference stream (workloads are deterministic).
+        workload = Thrasher(working_set, cycles=4, write=True)
+        machine = Machine(
+            MachineConfig(
+                memory_bytes=memory,
+                compression_cache=compression_cache,
+            ),
+            workload.build(),
+        )
+        result = SimulationEngine(machine).run(workload.references())
+        results[compression_cache] = result
+
+        label = "compression cache" if compression_cache else "unmodified"
+        print(f"[{label}]")
+        print(f"  simulated time : {result.elapsed_seconds:8.2f} s")
+        print(f"  faults         : "
+              f"{result.metrics_snapshot['faults']['total']:8d}")
+        print(f"  disk reads     : "
+              f"{result.device_counters['reads']:8d}")
+        print(f"  disk writes    : "
+              f"{result.device_counters['writes']:8d}")
+        if compression_cache:
+            print(f"  mean kept ratio: "
+                  f"{result.compression_ratio_percent:7.0f} %")
+        print(f"  time breakdown : "
+              f"{ {k: round(v, 2) for k, v in result.time_breakdown.items()} }")
+        print()
+
+    speedup = (results[False].elapsed_seconds
+               / results[True].elapsed_seconds)
+    print(f"speedup from the compression cache: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 1: analytic speedup surfaces.
+
+Figure 1(a): bandwidth speedup of paging compressed pages to/from the
+backing store.  Figure 1(b): mean memory-reference-time speedup when
+compressed pages are retained in memory.  Both as functions of the
+compression ratio and the compression:I/O speed ratio, with
+decompression assumed twice as fast as compression.
+
+Run: python experiments/figure1.py
+"""
+
+from repro.experiments import render_figure1
+
+if __name__ == "__main__":
+    print(render_figure1())

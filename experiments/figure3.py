@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 3: thrasher performance under both systems.
+
+Panel (a): average page access time versus address-space size for
+std_rw, cc_rw, std_ro, cc_ro.  Panel (b): speedup of the compression
+cache relative to the unmodified system.
+
+Run: python experiments/figure3.py [scale]
+
+scale=1.0 is the paper's configuration (≈6 MBytes of user memory,
+address spaces up to 40 MBytes); the default 0.25 keeps the run to a
+couple of minutes while preserving every regime transition.
+"""
+
+import sys
+
+from repro.experiments import figure3_sweep
+
+if __name__ == "__main__":
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    for write in (False, True):
+        result = figure3_sweep(write=write, scale=scale)
+        print(result.render())
+        print()
+        mode = result.mode
+        peak = max(point.speedup for point in result.points)
+        print(f"peak cc_{mode} speedup: {peak:.1f}x")
+        print()

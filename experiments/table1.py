@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Regenerate Table 1: application speedups under the compression cache.
+
+Seven rows: compare, isca, sort partial, gold create, gold cold,
+sort random, gold warm — with Time(std), Time(CC), speedup, mean kept
+compression ratio, and the fraction of pages missing the 4:3 threshold,
+printed beside the paper's numbers.
+
+Run: python experiments/table1.py [scale]
+
+scale=1.0 matches the paper's 14 MBytes of user memory; the default
+0.12 runs in a few minutes.  Application CPU time is calibrated so the
+standard-system run time matches the paper's Time(std) column (scaled);
+everything else is an emergent output.  See EXPERIMENTS.md.
+"""
+
+import sys
+
+from repro.experiments import render_table1, table1
+
+if __name__ == "__main__":
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.12
+    rows = table1(scale=scale)
+    print(render_table1(rows))

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs bdist_wheel, which this
+offline environment lacks; `python setup.py develop` works with plain
+setuptools and installs the same editable package.
+"""
+from setuptools import setup
+
+setup()

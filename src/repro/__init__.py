@@ -1,0 +1,37 @@
+"""repro — a reproduction of Douglis's compression cache (USENIX Winter 1993).
+
+The package implements, in simulation, the full system of "The
+Compression Cache: Using On-line Compression to Extend Physical Memory":
+the LZRW1 compressor, a Sprite-like VM with true-LRU replacement, the
+variable-sized circular compression cache with its cleaner and three-way
+memory allocator, the whole-block file system and compressed fragment
+swap, device models, and the paper's five benchmark applications.
+
+Quick start::
+
+    from repro import MachineConfig, Machine, SimulationEngine
+    from repro.workloads import Thrasher
+    from repro.mem.page import mbytes
+
+    workload = Thrasher(working_set_bytes=mbytes(8), cycles=4)
+    machine = Machine(MachineConfig(memory_bytes=mbytes(4)), workload.build())
+    result = SimulationEngine(machine).run(workload.references())
+    print(result.summary())
+"""
+
+from .sim.costs import CostModel
+from .sim.engine import PageRef, RunResult, SimulationEngine, run_workload
+from .sim.machine import Machine, MachineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "Machine",
+    "MachineConfig",
+    "PageRef",
+    "RunResult",
+    "SimulationEngine",
+    "__version__",
+    "run_workload",
+]

@@ -1,0 +1,183 @@
+"""Three-way memory trading between VM, compression cache, and file cache.
+
+Sprite already traded memory between VM and the file system by comparing
+the ages of each pool's LRU entry and reclaiming the older, "modulo an
+adjustment to favor retaining VM pages longer" (Section 4.2).  The
+compression cache becomes a third consumer: "allocation of each of the
+three types of memory ... requires a comparison of the ages of the oldest
+pages for all three types.  The system biases the ages to favor
+compressed pages over uncompressed pages and both of these over file
+cache blocks."
+
+The bias here is additive seconds on a pool's raw LRU age: a larger bias
+makes the pool's coldest entry look older and therefore get reclaimed
+sooner.  Favoring compressed pages most means the cache's bias is the
+smallest (zero by default).  The key tunable the paper discusses — "the
+more the system favors compressed pages, the larger the compression cache
+will tend to grow in periods of heavy paging; with a very low bias ...
+the compression cache degenerates into a buffer for compressing and
+decompressing pages between memory and the backing store" — is the gap
+between ``vm_bias_s`` and ``ccache_bias_s``, swept by the policy-ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol
+
+from ..mem.frames import FrameOwner, FramePool, OutOfFramesError
+
+
+class MemoryPool(Protocol):
+    """What the allocator needs from each memory consumer."""
+
+    def coldest_age(self, now: float) -> Optional[float]:
+        """Age in seconds of the pool's LRU entry, or None when empty."""
+
+    def shrink_one(self) -> Optional[float]:
+        """Give one frame back to the pool (charging any write-back I/O
+        internally).  Returns a float on success, None when the pool
+        cannot shrink right now."""
+
+
+@dataclass(frozen=True)
+class AllocationBiases:
+    """Age biases: ``effective_age = age * weight + bias_seconds``.
+
+    A bigger effective age means reclaimed sooner.  Defaults order
+    eviction pressure as file cache first, uncompressed VM pages second,
+    compressed pages last — the paper's stated preference.  The weights
+    are the primary knob: they are scale-free (a workload that runs 10x
+    longer sees the same relative policy), matching Sprite's practice of
+    comparing LRU ages with a proportional adjustment.  The VM-vs-cache
+    gap is deliberately modest: the paper found that "the more the
+    system favors compressed pages, the larger the compression cache
+    will tend to grow" at the expense of the uncompressed pool, and a
+    middling setting performed best across its application mix (the
+    policy-ablation benchmark sweeps this).
+    """
+
+    file_cache_bias_s: float = 0.0
+    vm_bias_s: float = 0.0
+    ccache_bias_s: float = 0.0
+    file_cache_weight: float = 12.0
+    vm_weight: float = 6.0
+    ccache_weight: float = 1.0
+
+    def effective_age(self, owner: FrameOwner, age: float) -> float:
+        """Bias-adjusted age used for victim selection."""
+        if owner == FrameOwner.FILE_CACHE:
+            return age * self.file_cache_weight + self.file_cache_bias_s
+        if owner == FrameOwner.VM:
+            return age * self.vm_weight + self.vm_bias_s
+        return age * self.ccache_weight + self.ccache_bias_s
+
+    def for_owner(self, owner: FrameOwner) -> float:
+        """Additive component only (kept for introspection)."""
+        if owner == FrameOwner.FILE_CACHE:
+            return self.file_cache_bias_s
+        if owner == FrameOwner.VM:
+            return self.vm_bias_s
+        return self.ccache_bias_s
+
+
+@dataclass
+class AllocatorCounters:
+    """How often each pool was chosen as the reclamation victim."""
+
+    victims: Dict[str, int] = field(
+        default_factory=lambda: {owner.value: 0 for owner in FrameOwner}
+    )
+
+    def snapshot(self) -> dict:
+        return dict(self.victims)
+
+
+class ThreeWayAllocator:
+    """Arbitrates physical frames between the three consumers.
+
+    Pools register themselves once constructed; a pool slot left ``None``
+    simply never competes (e.g. no file cache in a pure-VM experiment).
+    """
+
+    def __init__(
+        self,
+        frames: FramePool,
+        biases: AllocationBiases | None = None,
+        now_fn=None,
+    ):
+        self.frames = frames
+        self.biases = biases if biases is not None else AllocationBiases()
+        self._now_fn = now_fn if now_fn is not None else (lambda: 0.0)
+        self._pools: Dict[FrameOwner, Optional[MemoryPool]] = {
+            owner: None for owner in FrameOwner
+        }
+        self._shrinking: set = set()
+        self.counters = AllocatorCounters()
+
+    def register(self, owner: FrameOwner, pool: MemoryPool) -> None:
+        """Attach the pool that manages ``owner``'s frames."""
+        self._pools[owner] = pool
+
+    def obtain_frame(self, for_owner: FrameOwner) -> int:
+        """Get a frame for ``for_owner``, reclaiming from the globally
+        oldest (bias-adjusted) pool if none is free.
+
+        Raises:
+            OutOfFramesError: when no pool can give anything up.
+        """
+        while self.frames.free_frames == 0:
+            victim = self._choose_victim()
+            if victim is None:
+                raise OutOfFramesError(
+                    "no pool can release a frame "
+                    f"(requested by {for_owner.value})"
+                )
+            owner, pool = victim
+            self._shrinking.add(owner)
+            try:
+                result = pool.shrink_one()
+            finally:
+                self._shrinking.discard(owner)
+            if result is None:
+                # The pool reneged (e.g. only its tail frame left); retry
+                # without it by marking it temporarily unavailable.
+                self._shrinking.add(owner)
+                try:
+                    retry = self._choose_victim()
+                    if retry is None:
+                        raise OutOfFramesError(
+                            "every pool refused to release a frame"
+                        )
+                    retry_owner, retry_pool = retry
+                    self._shrinking.add(retry_owner)
+                    try:
+                        if retry_pool.shrink_one() is None:
+                            raise OutOfFramesError(
+                                "every pool refused to release a frame"
+                            )
+                    finally:
+                        self._shrinking.discard(retry_owner)
+                    self.counters.victims[retry_owner.value] += 1
+                finally:
+                    self._shrinking.discard(owner)
+            else:
+                self.counters.victims[owner.value] += 1
+        return self.frames.allocate(for_owner)
+
+    def _choose_victim(self):
+        now = self._now_fn()
+        best = None
+        best_age = None
+        for owner, pool in self._pools.items():
+            if pool is None or owner in self._shrinking:
+                continue
+            age = pool.coldest_age(now)
+            if age is None:
+                continue
+            effective = self.biases.effective_age(owner, age)
+            if best_age is None or effective > best_age:
+                best_age = effective
+                best = (owner, pool)
+        return best

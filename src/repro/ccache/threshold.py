@@ -1,0 +1,91 @@
+"""Adaptive compression gate.
+
+Table 1 shows applications (``sort random``, the ``gold`` runs) whose
+pages mostly fail the 4:3 threshold; for them "the time to compress these
+pages was wasted effort" and the paper concludes: "It should be possible
+to disable compression completely when poor compression is obtained"
+(Section 5.2).  The paper leaves that as future work; this module
+implements it.
+
+:class:`AdaptiveCompressionGate` watches the keep/reject outcome of
+recent compression attempts over a sliding window.  When the keep rate
+falls below a floor, the gate closes: pages bypass compression entirely
+(no CPU charged, straight to the uncompressed swap path) for a cool-off
+period, after which the gate re-opens to probe whether the workload's
+compressibility changed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class AdaptiveCompressionGate:
+    """Disables compression for workloads that don't compress.
+
+    Args:
+        window: number of recent compression attempts considered.
+        min_keep_rate: close the gate when the fraction of attempts that
+            met the threshold drops below this (with a full window).
+        cooloff_pages: how many pages bypass compression before probing
+            again.
+        enabled: set False to get a gate that is always open (the paper's
+            measured configuration, which never disables compression).
+    """
+
+    def __init__(
+        self,
+        window: int = 64,
+        min_keep_rate: float = 0.2,
+        cooloff_pages: int = 512,
+        enabled: bool = True,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
+        if not 0.0 <= min_keep_rate <= 1.0:
+            raise ValueError(f"min_keep_rate out of range: {min_keep_rate}")
+        if cooloff_pages < 1:
+            raise ValueError(f"cooloff_pages must be >= 1: {cooloff_pages}")
+        self.window = window
+        self.min_keep_rate = min_keep_rate
+        self.cooloff_pages = cooloff_pages
+        self.enabled = enabled
+        self._outcomes: deque = deque(maxlen=window)
+        self._bypass_remaining = 0
+        self.times_closed = 0
+        self.pages_bypassed = 0
+
+    @property
+    def open(self) -> bool:
+        """Should the next evicted page be compressed?"""
+        if not self.enabled:
+            return True
+        return self._bypass_remaining == 0
+
+    def note_bypass(self) -> None:
+        """A page skipped compression while the gate was closed."""
+        if self._bypass_remaining > 0:
+            self._bypass_remaining -= 1
+            self.pages_bypassed += 1
+            if self._bypass_remaining == 0:
+                # Probe again with a clean slate.
+                self._outcomes.clear()
+
+    def record(self, kept: bool) -> None:
+        """Record a compression attempt's threshold outcome."""
+        self._outcomes.append(kept)
+        if not self.enabled:
+            return
+        if len(self._outcomes) < self.window:
+            return
+        keep_rate = sum(self._outcomes) / len(self._outcomes)
+        if keep_rate < self.min_keep_rate:
+            self._bypass_remaining = self.cooloff_pages
+            self.times_closed += 1
+
+    @property
+    def recent_keep_rate(self) -> float:
+        """Keep rate over the current window (1.0 when no samples)."""
+        if not self._outcomes:
+            return 1.0
+        return sum(self._outcomes) / len(self._outcomes)

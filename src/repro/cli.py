@@ -1,0 +1,237 @@
+"""Command-line driver: regenerate the paper's tables and figures.
+
+Usage::
+
+    compression-cache figure1
+    compression-cache figure3 [--scale 0.2] [--mode rw|ro|both]
+    compression-cache table1 [--scale 0.2] [--rows compare,isca]
+    compression-cache demo   [--scale 0.2]
+    compression-cache inspect [--scale 0.1]
+    compression-cache trace-record --workload compare --out t.trace
+    compression-cache trace-analyze t.trace [--frames 64,256]
+
+``--scale 1.0`` reproduces the paper's configuration (slow in pure
+Python); the defaults trade fidelity for wall-clock time while keeping
+every memory-pressure regime intact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    TABLE1_ORDER,
+    figure3_sweep,
+    render_figure1,
+    render_table1,
+    table1,
+)
+from .mem.page import mbytes
+from .sim.engine import SimulationEngine
+from .sim.machine import Machine, MachineConfig
+from .workloads import (
+    CacheSimWorkload,
+    CompareWorkload,
+    GoldWorkload,
+    SortWorkload,
+    SyntheticWorkload,
+    Thrasher,
+)
+
+#: Workloads nameable from the command line (scaled to ``--scale``).
+WORKLOAD_FACTORIES = {
+    "thrasher": lambda scale: Thrasher(mbytes(12 * scale), cycles=3),
+    "compare": lambda scale: CompareWorkload(mbytes(24 * scale),
+                                             round_trips=2),
+    "isca": lambda scale: CacheSimWorkload(
+        mbytes(20 * scale), events=max(500, int(60000 * scale))
+    ),
+    "sort-partial": lambda scale: SortWorkload(mbytes(12 * scale),
+                                               partial=True),
+    "sort-random": lambda scale: SortWorkload(mbytes(12 * scale),
+                                              partial=False),
+    "gold-warm": lambda scale: GoldWorkload(
+        "warm", mbytes(30 * scale),
+        operations=max(30, int(8000 * scale)),
+    ),
+    "synthetic": lambda scale: SyntheticWorkload(
+        mbytes(8 * scale), references=max(500, int(40000 * scale))
+    ),
+}
+
+
+def _cmd_figure1(_args: argparse.Namespace) -> int:
+    print(render_figure1())
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    modes = {"rw": [True], "ro": [False], "both": [False, True]}[args.mode]
+    for write in modes:
+        result = figure3_sweep(write=write, scale=args.scale)
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    names = None
+    if args.rows:
+        names = [name.strip() for name in args.rows.split(",")]
+        unknown = set(names) - set(TABLE1_ORDER)
+        if unknown:
+            print(f"unknown rows: {sorted(unknown)}", file=sys.stderr)
+            print(f"known: {', '.join(TABLE1_ORDER)}", file=sys.stderr)
+            return 2
+    rows = table1(scale=args.scale, names=names)
+    print(render_table1(rows))
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    """Run a short thrashing burst and dump the machine state
+    (the Figure 2 diagram, memory split, device counters)."""
+    from .sim.inspect import render_machine
+
+    memory = mbytes(6 * args.scale)
+    workload = Thrasher(int(memory * 2.5), cycles=2, write=True)
+    machine = Machine(
+        MachineConfig(memory_bytes=memory), workload.build()
+    )
+    SimulationEngine(machine).run(workload.references())
+    print(render_machine(machine))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    """A quick end-to-end demonstration on the thrasher."""
+    memory = mbytes(6 * args.scale)
+    working_set = int(memory * 2.5)
+    print(
+        f"thrasher over {working_set // 1024} KBytes on "
+        f"{memory // 1024} KBytes of memory:"
+    )
+    for compression in (False, True):
+        workload = Thrasher(working_set, cycles=3, write=True)
+        machine = Machine(
+            MachineConfig(memory_bytes=memory,
+                          compression_cache=compression),
+            workload.build(),
+        )
+        result = SimulationEngine(machine).run(workload.references())
+        label = "compression cache" if compression else "unmodified system"
+        print(f"  {label:18s}: {result.summary()}")
+    return 0
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    """Record a named workload's reference trace to a file."""
+    from .sim.trace import Trace
+
+    factory = WORKLOAD_FACTORIES.get(args.workload)
+    if factory is None:
+        known = ", ".join(sorted(WORKLOAD_FACTORIES))
+        print(f"unknown workload {args.workload!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    workload = factory(args.scale)
+    workload.build()
+    trace = Trace.record(workload.references(),
+                         max_events=args.max_events or None)
+    trace.dump(args.out)
+    print(f"recorded {len(trace)} references "
+          f"({trace.touched_pages()} pages, "
+          f"{trace.write_fraction:.0%} writes) to {args.out}")
+    return 0
+
+
+def _cmd_trace_analyze(args: argparse.Namespace) -> int:
+    """LRU miss-ratio analysis of a recorded trace."""
+    from .model.locality import MissRatioCurve
+    from .sim.trace import Trace
+
+    trace = Trace.load(args.trace)
+    curve = MissRatioCurve.from_references(
+        [ref.page_id for ref in trace]
+    )
+    print(f"{len(trace)} references, {trace.touched_pages()} pages, "
+          f"{trace.write_fraction:.0%} writes")
+    print(f"working-set knee: ~{curve.knee()} frames")
+    if args.frames:
+        sizes = [int(s) for s in args.frames.split(",")]
+    else:
+        knee = max(curve.knee(), 8)
+        sizes = sorted({knee // 4, knee // 2, knee, knee * 2})
+    for frames in sizes:
+        print(f"  {frames:6d} frames: {curve.faults_at(frames):8d} faults "
+              f"({curve.miss_ratio_at(frames):6.1%})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="compression-cache",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figure1", help="analytic speedup surfaces")
+
+    fig3 = sub.add_parser("figure3", help="thrasher sweep (both panels)")
+    fig3.add_argument("--scale", type=float, default=0.2)
+    fig3.add_argument("--mode", choices=("rw", "ro", "both"),
+                      default="both")
+
+    tbl = sub.add_parser("table1", help="application speedups")
+    tbl.add_argument("--scale", type=float, default=0.12)
+    tbl.add_argument("--rows", default="",
+                     help="comma-separated subset of applications")
+
+    demo = sub.add_parser("demo", help="quick thrasher demonstration")
+    demo.add_argument("--scale", type=float, default=0.2)
+
+    inspect = sub.add_parser(
+        "inspect", help="dump machine state after a thrashing burst"
+    )
+    inspect.add_argument("--scale", type=float, default=0.1)
+
+    record = sub.add_parser(
+        "trace-record", help="record a workload's reference trace"
+    )
+    record.add_argument("--workload", required=True)
+    record.add_argument("--out", required=True)
+    record.add_argument("--scale", type=float, default=0.05)
+    record.add_argument("--max-events", type=int, default=0)
+
+    analyze = sub.add_parser(
+        "trace-analyze", help="LRU miss-ratio analysis of a trace"
+    )
+    analyze.add_argument("trace")
+    analyze.add_argument("--frames", default="",
+                         help="comma-separated memory sizes to evaluate")
+    return parser
+
+
+_COMMANDS = {
+    "figure1": _cmd_figure1,
+    "figure3": _cmd_figure3,
+    "table1": _cmd_table1,
+    "demo": _cmd_demo,
+    "inspect": _cmd_inspect,
+    "trace-record": _cmd_trace_record,
+    "trace-analyze": _cmd_trace_analyze,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Compression algorithms and accounting for the compression cache.
+
+Public surface:
+
+* :class:`Compressor`, :class:`CompressionResult` — the algorithm interface.
+* :func:`create` / :func:`available` — the name registry
+  (``lzrw1``, ``lzss``, ``rle``, ``wk``, ``null``).
+* :class:`Lzrw1` — the paper's on-line algorithm (Williams 1991).
+* :class:`CompressionThreshold`, :class:`CompressionStats` — the 4:3 rule
+  and Table 1 accounting.
+* :class:`CompressionSampler` — memoized measurement used by the simulator.
+"""
+
+from .base import (
+    CompressionError,
+    CompressionResult,
+    Compressor,
+    CorruptDataError,
+    UnknownCompressorError,
+    available,
+    create,
+    iter_compressors,
+    register,
+)
+from .delta import VarintDeltaCompressor
+from .lzrw1 import Lzrw1
+from .lzss import Lzss
+from .null import NullCompressor
+from .rle import Rle
+from .sampler import CompressionSampler
+from .stats import CompressionStats, CompressionThreshold
+from .wk import WkCompressor
+
+__all__ = [
+    "CompressionError",
+    "CompressionResult",
+    "CompressionSampler",
+    "CompressionStats",
+    "CompressionThreshold",
+    "Compressor",
+    "CorruptDataError",
+    "Lzrw1",
+    "Lzss",
+    "NullCompressor",
+    "Rle",
+    "UnknownCompressorError",
+    "VarintDeltaCompressor",
+    "WkCompressor",
+    "available",
+    "create",
+    "iter_compressors",
+    "register",
+]

@@ -1,0 +1,165 @@
+"""LZRW1 — Ross Williams's extremely fast Ziv-Lempel compressor (DCC 1991).
+
+This is the algorithm the paper runs in the Sprite kernel: a single-pass
+LZ77 variant that hashes three-byte sequences into a direct-mapped table of
+positions and emits either literal bytes or (offset, length) copy items,
+sixteen items per 16-bit control group.  Copy offsets span 1..4095 and copy
+lengths 3..18, exactly as in Williams's reference implementation, so the
+compression ratios this port produces on a given page are representative of
+what the 1993 kernel saw.
+
+The paper notes (Section 4.4) that the kernel sets aside a static buffer
+for "the LZRW1 algorithm's hash table", 16 KBytes in the measured system —
+that is 4096 four-byte entries, i.e. a 12-bit hash.  ``table_bits`` is
+configurable here so the memory-versus-ratio trade-off the paper mentions
+("relatively large ... improves compression at the cost of memory") can be
+explored; see ``benchmarks/test_policy_ablation.py``.
+
+Stored format produced by :meth:`Lzrw1.compress`:
+
+* a sequence of groups, each a 16-bit little-endian control word followed
+  by up to 16 items;
+* control bit ``i`` (LSB first) describes item ``i``: 0 = literal (one raw
+  byte), 1 = copy (two bytes: ``((len-3) << 4) | (offset >> 8)`` then
+  ``offset & 0xFF``);
+* when compression would expand the data the result is stored raw and
+  flagged via :attr:`CompressionResult.stored_raw` (Williams's
+  ``FLAG_COPY`` word serves the same purpose in the C code).
+"""
+
+from __future__ import annotations
+
+from .base import CompressionResult, Compressor, CorruptDataError, register
+
+_MAX_OFFSET = 4095
+_MIN_MATCH = 3
+_MAX_MATCH = 18
+_GROUP = 16
+_HASH_MULTIPLIER = 40543  # Williams's constant
+
+
+@register("lzrw1")
+class Lzrw1(Compressor):
+    """Single-pass LZ77 compressor matching Williams's LZRW1.
+
+    Args:
+        table_bits: log2 of the hash-table entry count.  12 matches the
+            16-KByte table of the measured system; smaller tables trade
+            compression ratio for memory.
+    """
+
+    def __init__(self, table_bits: int = 12):
+        if not 4 <= table_bits <= 20:
+            raise ValueError(f"table_bits out of range: {table_bits}")
+        self.table_bits = table_bits
+        self._table_size = 1 << table_bits
+        self._hash_shift = 0  # folded below via modular multiply + mask
+
+    @property
+    def hash_table_bytes(self) -> int:
+        """Memory footprint of the hash table (4-byte entries, as in Sprite)."""
+        return 4 * self._table_size
+
+    def _hash(self, b0: int, b1: int, b2: int) -> int:
+        key = ((b0 << 8) ^ (b1 << 4) ^ b2) & 0xFFFF
+        return ((_HASH_MULTIPLIER * key) >> 4) & (self._table_size - 1)
+
+    def compress(self, data: bytes) -> CompressionResult:
+        n = len(data)
+        if n < _MIN_MATCH + 1:
+            return CompressionResult(bytes(data), n, stored_raw=True)
+
+        table = [-1] * self._table_size
+        out = bytearray()
+        items = bytearray()
+        control = 0
+        nitems = 0
+        i = 0
+        limit = n - _MIN_MATCH
+        raw_threshold = n  # abandon if output can no longer beat raw
+
+        while i < n:
+            emitted_copy = False
+            if i <= limit:
+                b0, b1, b2 = data[i], data[i + 1], data[i + 2]
+                h = self._hash(b0, b1, b2)
+                cand = table[h]
+                table[h] = i
+                if cand >= 0 and 0 < i - cand <= _MAX_OFFSET:
+                    max_len = min(_MAX_MATCH, n - i)
+                    length = 0
+                    while (
+                        length < max_len
+                        and data[cand + length] == data[i + length]
+                    ):
+                        length += 1
+                    if length >= _MIN_MATCH:
+                        offset = i - cand
+                        items.append(((length - _MIN_MATCH) << 4) | (offset >> 8))
+                        items.append(offset & 0xFF)
+                        control |= 1 << nitems
+                        i += length
+                        emitted_copy = True
+            if not emitted_copy:
+                items.append(data[i])
+                i += 1
+            nitems += 1
+            if nitems == _GROUP:
+                out.append(control & 0xFF)
+                out.append(control >> 8)
+                out += items
+                items.clear()
+                control = 0
+                nitems = 0
+                if len(out) >= raw_threshold:
+                    return CompressionResult(bytes(data), n, stored_raw=True)
+
+        if nitems:
+            out.append(control & 0xFF)
+            out.append(control >> 8)
+            out += items
+
+        if len(out) >= n:
+            return CompressionResult(bytes(data), n, stored_raw=True)
+        return CompressionResult(bytes(out), n)
+
+    def decompress(self, result: CompressionResult) -> bytes:
+        if result.stored_raw:
+            return result.payload
+        payload = result.payload
+        want = result.original_size
+        out = bytearray()
+        i = 0
+        end = len(payload)
+        while i < end and len(out) < want:
+            if i + 2 > end:
+                raise CorruptDataError("lzrw1: truncated control word")
+            control = payload[i] | (payload[i + 1] << 8)
+            i += 2
+            for bit in range(_GROUP):
+                if i >= end or len(out) >= want:
+                    break
+                if (control >> bit) & 1:
+                    if i + 2 > end:
+                        raise CorruptDataError("lzrw1: truncated copy item")
+                    b0 = payload[i]
+                    b1 = payload[i + 1]
+                    i += 2
+                    length = (b0 >> 4) + _MIN_MATCH
+                    offset = ((b0 & 0x0F) << 8) | b1
+                    if offset == 0 or offset > len(out):
+                        raise CorruptDataError(
+                            f"lzrw1: bad copy offset {offset} at output "
+                            f"position {len(out)}"
+                        )
+                    start = len(out) - offset
+                    for k in range(length):  # may self-overlap; copy bytewise
+                        out.append(out[start + k])
+                else:
+                    out.append(payload[i])
+                    i += 1
+        if len(out) != want:
+            raise CorruptDataError(
+                f"lzrw1: decoded {len(out)} bytes, expected {want}"
+            )
+        return bytes(out)

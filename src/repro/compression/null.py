@@ -1,0 +1,22 @@
+"""Store-only compressor (control / worst case).
+
+With this algorithm the compression cache degenerates into an extra memory
+copy with zero space savings — every page lands above the 4:3 threshold.
+It exists so tests and benchmarks can isolate the cost of the cache
+machinery itself from the benefit of compression.
+"""
+
+from __future__ import annotations
+
+from .base import CompressionResult, Compressor, register
+
+
+@register("null")
+class NullCompressor(Compressor):
+    """Pass-through "compressor": output equals input."""
+
+    def compress(self, data: bytes) -> CompressionResult:
+        return CompressionResult(bytes(data), len(data), stored_raw=True)
+
+    def decompress(self, result: CompressionResult) -> bytes:
+        return result.payload

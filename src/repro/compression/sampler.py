@@ -1,0 +1,122 @@
+"""Memoized compression measurements for the simulator.
+
+The simulator charges compression *time* from a bandwidth model but needs
+real compressed *sizes* to reproduce the paper's per-application ratios.
+Running a pure-Python LZRW1 on every one of the millions of page
+compressions a sweep performs would be wasteful when page contents repeat,
+so this module memoizes ``(algorithm, content fingerprint) -> compressed
+size``.
+
+Two modes:
+
+* ``exact`` — every request runs the real compressor (no memo).  Used by
+  the validation tests that prove the memoized mode agrees with reality.
+* ``memo`` (default) — results are cached by a fast fingerprint of the
+  content bytes.  The cache is bounded; eviction is FIFO, which is safe
+  because entries are pure functions of the content.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from .base import CompressionResult, Compressor
+
+
+class CompressionSampler:
+    """Caches compression outcomes per unique page content.
+
+    Args:
+        compressor: the algorithm to measure.
+        exact: disable memoization entirely.
+        max_entries: memo capacity; oldest entries are dropped first.
+        keep_payloads: retain compressed payloads (needed when the
+            simulation verifies decompression round trips; sizes-only
+            otherwise to bound memory).
+    """
+
+    def __init__(
+        self,
+        compressor: Compressor,
+        exact: bool = False,
+        max_entries: int = 65536,
+        keep_payloads: bool = False,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.compressor = compressor
+        self.exact = exact
+        self.max_entries = max_entries
+        self.keep_payloads = keep_payloads
+        self._size_cache: "OrderedDict[int, int]" = OrderedDict()
+        self._payload_cache: "OrderedDict[int, CompressionResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def fingerprint(data: bytes) -> int:
+        """Cheap stable fingerprint of page content."""
+        return hash(data)
+
+    def _cache_key(self, data: bytes, stable_key: Optional[str]):
+        if stable_key is not None:
+            # A workload vouched that its in-place updates don't change
+            # the page's compressibility class; one measurement stands in
+            # for all versions of the page.
+            return stable_key
+        return self.fingerprint(data)
+
+    def compressed_size(self, data: bytes,
+                        stable_key: Optional[str] = None) -> int:
+        """Size in bytes ``data`` occupies after compression."""
+        if self.exact:
+            self.misses += 1
+            return self.compressor.compress(data).compressed_size
+        key = self._cache_key(data, stable_key)
+        cached = self._size_cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = self.compressor.compress(data)
+        self._remember(key, result)
+        return result.compressed_size
+
+    def compress(self, data: bytes,
+                 stable_key: Optional[str] = None) -> CompressionResult:
+        """Full compression result, memoized when payloads are kept."""
+        if self.exact:
+            return self.compressor.compress(data)
+        key = self._cache_key(data, stable_key)
+        if self.keep_payloads:
+            cached = self._payload_cache.get(key)
+            if cached is not None and cached.original_size == len(data):
+                self.hits += 1
+                return cached
+        self.misses += 1
+        result = self.compressor.compress(data)
+        self._remember(key, result)
+        return result
+
+    def _remember(self, key: int, result: CompressionResult) -> None:
+        self._size_cache[key] = result.compressed_size
+        while len(self._size_cache) > self.max_entries:
+            self._size_cache.popitem(last=False)
+        if self.keep_payloads:
+            self._payload_cache[key] = result
+            while len(self._payload_cache) > self.max_entries:
+                self._payload_cache.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from the memo."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all cached measurements."""
+        self._size_cache.clear()
+        self._payload_cache.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,118 @@
+"""Compression-ratio accounting, including the paper's 4:3 threshold.
+
+Table 1 reports two compressibility columns per application:
+
+* ``Compression Ratio (%)`` — the mean size, as a percentage of 4 KBytes,
+  of the pages that *were* kept compressed; and
+* ``Uncompressible pages (%)`` — the fraction of pages that compressed to
+  *less than 4:3* (i.e. to more than 3/4 of their original size), for
+  which "the time to compress these pages was wasted effort".
+
+This module reproduces that accounting.  :class:`CompressionThreshold`
+answers "keep this page compressed?" and :class:`CompressionStats`
+aggregates the two Table 1 columns plus distribution summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class CompressionThreshold:
+    """Keep-compressed policy: the paper's 4:3 rule.
+
+    A page is worth keeping compressed only if
+    ``original_size / compressed_size >= factor`` (equivalently the
+    compressed size is at most ``1/factor`` of the original).  The paper
+    uses factor 4/3, i.e. a 4-KByte page must compress to at most 3 KBytes.
+    """
+
+    factor: float = 4.0 / 3.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError(f"threshold factor must be >= 1, got {self.factor}")
+
+    def keep_compressed(self, original_size: int, compressed_size: int) -> bool:
+        """True when the page met the threshold and stays compressed."""
+        if original_size <= 0:
+            return False
+        return compressed_size * self.factor <= original_size
+
+    @property
+    def max_fraction(self) -> float:
+        """Largest acceptable compressed/original fraction (0.75 for 4:3)."""
+        return 1.0 / self.factor
+
+
+@dataclass
+class CompressionStats:
+    """Aggregates per-page compression outcomes for reporting.
+
+    Pages below the threshold contribute to the mean ratio (the Table 1
+    "Compression Ratio" column averages only pages that were kept
+    compressed); pages above it count as uncompressible.
+    """
+
+    threshold: CompressionThreshold = field(default_factory=CompressionThreshold)
+    pages_compressed: int = 0
+    pages_uncompressible: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    _kept_ratios: List[float] = field(default_factory=list)
+
+    def record(self, original_size: int, compressed_size: int) -> bool:
+        """Record one page compression; returns the keep decision."""
+        keep = self.threshold.keep_compressed(original_size, compressed_size)
+        if keep:
+            self.pages_compressed += 1
+            self.bytes_in += original_size
+            self.bytes_out += compressed_size
+            self._kept_ratios.append(compressed_size / original_size)
+        else:
+            self.pages_uncompressible += 1
+        return keep
+
+    @property
+    def total_pages(self) -> int:
+        """All pages that went through the compressor."""
+        return self.pages_compressed + self.pages_uncompressible
+
+    @property
+    def mean_ratio_percent(self) -> float:
+        """Table 1 "Compression Ratio (%)": mean kept-page size in percent."""
+        if not self._kept_ratios:
+            return 100.0
+        return 100.0 * sum(self._kept_ratios) / len(self._kept_ratios)
+
+    @property
+    def uncompressible_percent(self) -> float:
+        """Table 1 "Uncompressible pages (%)"."""
+        if self.total_pages == 0:
+            return 0.0
+        return 100.0 * self.pages_uncompressible / self.total_pages
+
+    @property
+    def overall_factor(self) -> float:
+        """Aggregate compression factor (e.g. 4.0 means 4:1) of kept pages."""
+        if self.bytes_out == 0:
+            return 1.0
+        return self.bytes_in / self.bytes_out
+
+    def merge(self, other: "CompressionStats") -> None:
+        """Fold another stats object (e.g. from a parallel shard) into this one."""
+        self.pages_compressed += other.pages_compressed
+        self.pages_uncompressible += other.pages_uncompressible
+        self.bytes_in += other.bytes_in
+        self.bytes_out += other.bytes_out
+        self._kept_ratios.extend(other._kept_ratios)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.total_pages} pages: {self.mean_ratio_percent:.0f}% mean "
+            f"kept size, {self.uncompressible_percent:.1f}% uncompressible "
+            f"(threshold {self.threshold.factor:.2f}:1)"
+        )

@@ -1,0 +1,365 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+Shared by ``benchmarks/`` (scaled-down, pytest-benchmark) and
+``experiments/`` (full-fidelity scripts).  Every function returns plain
+data structures plus a rendered text block, so callers can assert on
+shapes or just print.
+
+Scaling: each harness takes a ``scale`` in (0, 1].  ``scale=1`` is the
+paper's configuration (14 MBytes of user memory for Table 1, ~6 MBytes
+for Figure 3, address spaces in the tens of MBytes); smaller scales
+shrink memory and working sets together so the memory-pressure *regime*
+is preserved while runs stay fast.
+
+CPU calibration: Table 1 measures whole applications.  The harness first
+runs each workload on the *standard* machine with zero application CPU,
+then sets ``compute_seconds_per_ref`` so the standard run time matches
+the paper's ``Time (std)`` column (scaled).  The compression-cache run
+time — and therefore the speedup, the ratio column, and the
+uncompressible column — are emergent outputs.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .mem.page import mbytes
+from .sim.engine import RunResult, SimulationEngine
+from .sim.machine import Machine, MachineConfig
+from .sim.report import format_minutes_seconds, render_series, render_table
+from .workloads import (
+    CacheSimWorkload,
+    CompareWorkload,
+    GoldWorkload,
+    SortWorkload,
+    Thrasher,
+    Workload,
+)
+
+# ----------------------------------------------------------------------
+# Generic two-system runner
+# ----------------------------------------------------------------------
+
+
+def run_pair(
+    workload_factory: Callable[[], Workload],
+    config: MachineConfig,
+    setup: bool = False,
+) -> Tuple[RunResult, RunResult]:
+    """Run a workload on the standard machine and the compression-cache
+    machine; returns (std_result, cc_result)."""
+    results = []
+    for compression in (False, True):
+        workload = workload_factory()
+        machine = Machine(
+            config.variant(compression_cache=compression),
+            workload.build(),
+        )
+        engine = SimulationEngine(machine)
+        if setup:
+            engine.run(workload.setup_references())
+            machine.reset_measurement()
+        results.append(engine.run(workload.references()))
+    return results[0], results[1]
+
+
+def _run_single(workload: Workload, config: MachineConfig,
+                setup: bool = False) -> RunResult:
+    machine = Machine(config, workload.build())
+    engine = SimulationEngine(machine)
+    if setup:
+        engine.run(workload.setup_references())
+        machine.reset_measurement()
+    return engine.run(workload.references())
+
+
+# ----------------------------------------------------------------------
+# Figure 3: thrasher sweep
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Figure3Point:
+    """One x-position of Figure 3."""
+
+    address_space_bytes: int
+    std_ms_per_access: float
+    cc_ms_per_access: float
+
+    @property
+    def speedup(self) -> float:
+        if self.cc_ms_per_access == 0:
+            return float("inf")
+        return self.std_ms_per_access / self.cc_ms_per_access
+
+
+@dataclass
+class Figure3Result:
+    """Both panels of Figure 3 for one access mode (ro or rw)."""
+
+    mode: str
+    points: List[Figure3Point] = field(default_factory=list)
+
+    def render(self) -> str:
+        rows = [
+            [
+                f"{p.address_space_bytes / mbytes(1):.1f}",
+                f"{p.std_ms_per_access:.2f}",
+                f"{p.cc_ms_per_access:.2f}",
+                f"{p.speedup:.2f}",
+            ]
+            for p in self.points
+        ]
+        return render_table(
+            ["MB", f"std_{self.mode} ms", f"cc_{self.mode} ms", "speedup"],
+            rows,
+            title=f"Figure 3 ({self.mode}): avg page access time vs size",
+        )
+
+
+def figure3_sweep(
+    write: bool,
+    scale: float = 1.0,
+    points: Optional[Sequence[float]] = None,
+    cycles: int = 3,
+) -> Figure3Result:
+    """Regenerate one pair of Figure 3 curves.
+
+    Args:
+        write: rw (True) or ro (False) thrasher.
+        scale: 1.0 = the paper's ~6 MBytes of user memory and 2-40 MByte
+            sweep; smaller values shrink both together.
+        points: address-space sizes as multiples of user memory
+            (default mirrors the paper's 0.3x-6.7x span).
+        cycles: passes per measurement.
+    """
+    if points is None:
+        points = (0.35, 0.7, 1.0, 1.4, 2.0, 2.7, 3.4, 4.7, 6.0, 6.7)
+    memory = mbytes(6 * scale)
+    config = MachineConfig(memory_bytes=memory)
+    mode = "rw" if write else "ro"
+    result = Figure3Result(mode=mode)
+    for multiple in points:
+        space = int(memory * multiple)
+        std, cc = run_pair(
+            lambda: Thrasher(space, cycles=cycles, write=write),
+            config,
+        )
+        accesses = std.metrics_snapshot["accesses"]
+        result.points.append(
+            Figure3Point(
+                address_space_bytes=space,
+                std_ms_per_access=1000.0 * std.elapsed_seconds / accesses,
+                cc_ms_per_access=1000.0 * cc.elapsed_seconds / accesses,
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 1: application speedups
+# ----------------------------------------------------------------------
+
+#: The paper's Table 1, for calibration targets and shape checks:
+#: name -> (std seconds, cc seconds, speedup, ratio %, uncompressible %).
+PAPER_TABLE1: Dict[str, Tuple[float, float, float, float, float]] = {
+    "compare": (974.0, 364.0, 2.68, 31.0, 0.1),
+    "isca": (2595.0, 1620.0, 1.60, 32.0, 1.7),
+    "sort_partial": (812.0, 624.0, 1.30, 30.0, 49.0),
+    "gold_create": (843.0, 938.0, 0.90, 59.0, 42.0),
+    "gold_cold": (2730.0, 3396.0, 0.80, 60.0, 10.0),
+    "sort_random": (1577.0, 1731.0, 0.91, 37.0, 98.0),
+    "gold_warm": (2156.0, 2940.0, 0.73, 52.0, 0.9),
+}
+
+#: Display order used by the paper's table.
+TABLE1_ORDER = (
+    "compare",
+    "isca",
+    "sort_partial",
+    "gold_create",
+    "gold_cold",
+    "sort_random",
+    "gold_warm",
+)
+
+
+@dataclass
+class Table1Row:
+    """One application's measured row."""
+
+    name: str
+    std_seconds: float
+    cc_seconds: float
+    ratio_percent: float
+    uncompressible_percent: float
+    compute_seconds_per_ref: float
+
+    @property
+    def speedup(self) -> float:
+        if self.cc_seconds == 0:
+            return float("inf")
+        return self.std_seconds / self.cc_seconds
+
+
+def _table1_workloads(scale: float) -> Dict[str, Tuple[Callable[[], Workload], bool]]:
+    """Factories (and needs-setup flags) for the seven Table 1 rows.
+
+    Sizes at scale=1 mirror the measured system: 14 MBytes of user
+    memory, address spaces in the 18-26 MByte range so every application
+    pages.
+    """
+    def sz(mb: float) -> int:
+        return mbytes(mb * scale)
+
+    # Activity levels are calibration constants: together with the
+    # paper's Time(std) targets they set each application's
+    # paging-versus-CPU balance (see EXPERIMENTS.md).  The gold index is
+    # sized past the compressed capacity of memory — the paper's gold
+    # pays "a full 4-Kbyte read from backing store" on its nonsequential
+    # faults, so its working set cannot fit even compressed — and its
+    # query hot set sits just above what the standard system keeps
+    # resident, which is what turns the compression cache's memory
+    # appetite into extra faults (the Section 5.2 slowdown mechanism).
+    events = max(500, int(570000 * scale))
+    return {
+        "compare": (lambda: CompareWorkload(sz(24), round_trips=3), False),
+        "isca": (lambda: CacheSimWorkload(sz(20), events=events), False),
+        "sort_partial": (
+            lambda: SortWorkload(sz(12), partial=True,
+                                 pointer_overhead=1.0),
+            False,
+        ),
+        "gold_create": (
+            lambda: GoldWorkload(
+                "create", sz(30),
+                operations=max(30, int(7000 * scale)),
+                hot_fraction=0.28, hot_probability=0.85, text_fraction=0.5,
+            ),
+            False,
+        ),
+        "gold_cold": (
+            lambda: GoldWorkload(
+                "cold", sz(30),
+                operations=max(30, int(32500 * scale)),
+                hot_fraction=0.3, hot_probability=0.8,
+            ),
+            True,
+        ),
+        "sort_random": (
+            lambda: SortWorkload(sz(12), partial=False,
+                                 pointer_overhead=1.0),
+            False,
+        ),
+        "gold_warm": (
+            lambda: GoldWorkload(
+                "warm", sz(30),
+                operations=max(30, int(61000 * scale)),
+                hot_fraction=0.3, hot_probability=0.8,
+            ),
+            True,
+        ),
+    }
+
+
+def table1_row(
+    name: str,
+    scale: float = 1.0,
+    calibrate: bool = True,
+) -> Table1Row:
+    """Measure one Table 1 application at the given scale."""
+    factories = _table1_workloads(scale)
+    if name not in factories:
+        known = ", ".join(TABLE1_ORDER)
+        raise KeyError(f"unknown Table 1 application {name!r}; known: {known}")
+    factory, needs_setup = factories[name]
+    config = MachineConfig(memory_bytes=mbytes(14 * scale))
+
+    compute_per_ref = 0.0
+    if calibrate:
+        # Pass 1: standard machine, zero app CPU -> pure paging time.
+        probe = factory()
+        paging = _run_single(
+            probe, config.variant(compression_cache=False), setup=needs_setup
+        )
+        refs = probe.reference_count()
+        target = PAPER_TABLE1[name][0] * scale
+        compute_per_ref = max(0.0, (target - paging.elapsed_seconds) / refs)
+
+    def calibrated() -> Workload:
+        workload = factory()
+        workload.compute_seconds_per_ref = compute_per_ref
+        return workload
+
+    std, cc = run_pair(calibrated, config, setup=needs_setup)
+    return Table1Row(
+        name=name,
+        std_seconds=std.elapsed_seconds,
+        cc_seconds=cc.elapsed_seconds,
+        ratio_percent=cc.compression_ratio_percent,
+        uncompressible_percent=cc.uncompressible_percent,
+        compute_seconds_per_ref=compute_per_ref,
+    )
+
+
+def table1(scale: float = 1.0, calibrate: bool = True,
+           names: Optional[Sequence[str]] = None) -> List[Table1Row]:
+    """Measure all (or selected) Table 1 rows."""
+    rows = []
+    for name in names if names is not None else TABLE1_ORDER:
+        rows.append(table1_row(name, scale=scale, calibrate=calibrate))
+    return rows
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Render measured rows alongside the paper's numbers."""
+    table = []
+    for row in rows:
+        paper = PAPER_TABLE1[row.name]
+        table.append([
+            row.name,
+            format_minutes_seconds(row.std_seconds),
+            format_minutes_seconds(row.cc_seconds),
+            f"{row.speedup:.2f}",
+            f"{paper[2]:.2f}",
+            f"{row.ratio_percent:.0f}",
+            f"{paper[3]:.0f}",
+            f"{row.uncompressible_percent:.1f}",
+            f"{paper[4]:.1f}",
+        ])
+    return render_table(
+        ["application", "t(std)", "t(cc)", "speedup", "paper",
+         "ratio%", "paper", "uncmp%", "paper"],
+        table,
+        title="Table 1: application speedups (measured vs paper)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 1 rendering (analytic; no simulation needed)
+# ----------------------------------------------------------------------
+
+
+def render_figure1() -> str:
+    """Render both Figure 1 surfaces as text tables."""
+    from .model.analytic import figure_1a, figure_1b
+
+    blocks = []
+    for title, surface in (
+        ("Figure 1(a): bandwidth speedup", figure_1a()),
+        ("Figure 1(b): in-memory speedup", figure_1b()),
+    ):
+        rows = []
+        for i, speed in enumerate(surface.speeds):
+            rows.append(
+                [f"c={speed:g}"]
+                + [f"{surface.values[i][j]:.2f}"
+                   for j in range(0, len(surface.ratios), 4)]
+            )
+        headers = ["speed \\ ratio"] + [
+            f"{surface.ratios[j]:.2f}"
+            for j in range(0, len(surface.ratios), 4)
+        ]
+        blocks.append(render_table(headers, rows, title=title))
+    return "\n\n".join(blocks)

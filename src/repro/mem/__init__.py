@@ -1,0 +1,44 @@
+"""Physical and virtual memory substrate: pages, frames, LRU, segments."""
+
+from .content import PageContent, zero_page
+from .frames import FrameOwner, FramePool, OutOfFramesError
+from .lru import LruList
+from .page import (
+    DEFAULT_PAGE_SIZE,
+    WORD_SIZE,
+    PageId,
+    PageState,
+    mbytes,
+    pages_for_bytes,
+)
+from .pagetable import (
+    CC_PTE_BYTES,
+    CC_PTE_EXTRA_BYTES,
+    STD_PTE_BYTES,
+    PageTableEntry,
+    page_table_overhead_bytes,
+)
+from .segment import AddressSpace, ContentFactory, Segment
+
+__all__ = [
+    "AddressSpace",
+    "CC_PTE_BYTES",
+    "CC_PTE_EXTRA_BYTES",
+    "ContentFactory",
+    "DEFAULT_PAGE_SIZE",
+    "FrameOwner",
+    "FramePool",
+    "LruList",
+    "OutOfFramesError",
+    "PageContent",
+    "PageId",
+    "PageState",
+    "PageTableEntry",
+    "STD_PTE_BYTES",
+    "Segment",
+    "WORD_SIZE",
+    "mbytes",
+    "page_table_overhead_bytes",
+    "pages_for_bytes",
+    "zero_page",
+]

@@ -1,0 +1,116 @@
+"""Real byte contents for simulated pages.
+
+The paper's results hinge on what pages actually contain: ``compare``'s
+dynamic-programming array compresses ~3:1, ``sort random``'s shuffled text
+barely compresses at all, and ``gold``'s index is in between.  To reproduce
+that, every simulated page carries genuine bytes, and the compression
+subsystem measures them with the real algorithm.
+
+Pages are written far more often than they are compressed, so contents use
+a copy-on-write overlay: word stores go into a small dict and are folded
+into the backing bytes only when someone asks for the materialized page.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional
+
+from .page import DEFAULT_PAGE_SIZE, WORD_SIZE
+
+_ZERO_PAGES: Dict[int, bytes] = {}
+
+
+def zero_page(page_size: int = DEFAULT_PAGE_SIZE) -> bytes:
+    """A shared all-zero page of the given size."""
+    page = _ZERO_PAGES.get(page_size)
+    if page is None:
+        page = bytes(page_size)
+        _ZERO_PAGES[page_size] = page
+    return page
+
+
+class PageContent:
+    """Mutable content of one virtual page.
+
+    Attributes:
+        version: bumped on every mutation; the compression sampler uses
+            (identity, version) pairs to notice stale measurements, and
+            the VM uses version deltas to detect "dirty since last copy".
+    """
+
+    __slots__ = (
+        "_base",
+        "_overlay",
+        "_materialized",
+        "version",
+        "page_size",
+        "stable_key",
+    )
+
+    def __init__(self, data: Optional[bytes] = None,
+                 page_size: int = DEFAULT_PAGE_SIZE):
+        if data is not None and len(data) != page_size:
+            raise ValueError(
+                f"page content must be exactly {page_size} bytes, "
+                f"got {len(data)}"
+            )
+        self.page_size = page_size
+        self._base = data if data is not None else zero_page(page_size)
+        self._overlay: Dict[int, int] = {}
+        self._materialized: Optional[bytes] = self._base
+        self.version = 0
+        #: Optional compressibility memo key.  A workload may set this to
+        #: declare that small in-place updates do not materially change
+        #: the page's compressed size, letting the sampler reuse one
+        #: measurement across versions ("modeled" mode).  Validated
+        #: against exact mode by the test suite; ignored when the sampler
+        #: runs exact.
+        self.stable_key: Optional[str] = None
+
+    def materialize(self) -> bytes:
+        """The page's current bytes, folding any pending word stores."""
+        if self._materialized is None:
+            buf = bytearray(self._base)
+            for offset, value in self._overlay.items():
+                struct.pack_into("<I", buf, offset, value)
+            self._base = bytes(buf)
+            self._overlay.clear()
+            self._materialized = self._base
+        return self._materialized
+
+    def replace(self, data: bytes) -> None:
+        """Overwrite the whole page (e.g. a workload regenerating it)."""
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"page content must be exactly {self.page_size} bytes, "
+                f"got {len(data)}"
+            )
+        self._base = data
+        self._overlay.clear()
+        self._materialized = data
+        self.version += 1
+
+    def store_word(self, offset: int, value: int) -> None:
+        """Store a 32-bit little-endian word at ``offset``."""
+        if offset < 0 or offset + WORD_SIZE > self.page_size:
+            raise ValueError(f"word offset {offset} outside page")
+        if offset % WORD_SIZE:
+            raise ValueError(f"unaligned word offset {offset}")
+        self._overlay[offset] = value & 0xFFFFFFFF
+        self._materialized = None
+        self.version += 1
+
+    def load_word(self, offset: int) -> int:
+        """Read the 32-bit little-endian word at ``offset``."""
+        if offset < 0 or offset + WORD_SIZE > self.page_size:
+            raise ValueError(f"word offset {offset} outside page")
+        if offset % WORD_SIZE:
+            raise ValueError(f"unaligned word offset {offset}")
+        pending = self._overlay.get(offset)
+        if pending is not None:
+            return pending
+        return struct.unpack_from("<I", self._base, offset)[0]
+
+    def __len__(self) -> int:
+        return self.page_size

@@ -1,0 +1,70 @@
+"""Intrusive LRU list with virtual-time age stamps.
+
+Sprite's three-way memory trading compares "the age of the least-recently-
+used file block to the age of the LRU VM page, and reclaims the older of
+the two, modulo an adjustment" (Section 4.2).  That needs an LRU structure
+that can answer *how old* its coldest entry is, not just evict it — hence
+each entry carries the virtual timestamp of its last touch.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class LruList(Generic[K]):
+    """Ordered set of keys from least- to most-recently used."""
+
+    def __init__(self) -> None:
+        self._entries: "OrderedDict[K, float]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[K]:
+        """Iterate keys from coldest to hottest."""
+        return iter(self._entries)
+
+    def touch(self, key: K, now: float) -> None:
+        """Insert ``key`` or move it to the hot end, stamped ``now``."""
+        self._entries[key] = now
+        self._entries.move_to_end(key)
+
+    def remove(self, key: K) -> None:
+        """Remove ``key``; raises KeyError if absent."""
+        del self._entries[key]
+
+    def discard(self, key: K) -> None:
+        """Remove ``key`` if present."""
+        self._entries.pop(key, None)
+
+    def coldest(self) -> Optional[Tuple[K, float]]:
+        """The least-recently-used (key, last-touch time), or None."""
+        if not self._entries:
+            return None
+        key = next(iter(self._entries))
+        return key, self._entries[key]
+
+    def coldest_age(self, now: float) -> Optional[float]:
+        """Age (``now`` minus last touch) of the LRU entry, or None."""
+        entry = self.coldest()
+        if entry is None:
+            return None
+        return now - entry[1]
+
+    def evict(self) -> K:
+        """Pop and return the least-recently-used key."""
+        if not self._entries:
+            raise KeyError("evict from empty LRU list")
+        key, _ = self._entries.popitem(last=False)
+        return key
+
+    def last_touch(self, key: K) -> float:
+        """Timestamp of ``key``'s last touch."""
+        return self._entries[key]

@@ -1,0 +1,55 @@
+"""Page identities, states, and sizes.
+
+The measured system uses 4-KByte pages (DECstation 5000/200); everything
+downstream — file blocks, swap offsets, fragment sizes — is derived from
+:data:`DEFAULT_PAGE_SIZE` unless a machine configuration overrides it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+DEFAULT_PAGE_SIZE = 4096
+
+#: Machine word size; the thrasher touches "one word per page".
+WORD_SIZE = 4
+
+
+class PageState(enum.Enum):
+    """Where the current copy of a virtual page lives.
+
+    The unmodified system only has UNTOUCHED / RESIDENT / BACKING_STORE;
+    the compression cache adds COMPRESSED, an intermediate level "between
+    uncompressed pages and the backing store" (Section 3).  A page that
+    was written to backing store in compressed form and later faulted in
+    may briefly be both compressed-in-memory and on backing store; the
+    state tracks the authoritative copy.
+    """
+
+    UNTOUCHED = "untouched"
+    RESIDENT = "resident"
+    COMPRESSED = "compressed"
+    BACKING_STORE = "backing-store"
+
+
+class PageId(NamedTuple):
+    """A virtual page: (segment id, page number within the segment)."""
+
+    segment: int
+    number: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"s{self.segment}p{self.number}"
+
+
+def pages_for_bytes(nbytes: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Number of pages needed to hold ``nbytes`` (ceiling division)."""
+    if nbytes < 0:
+        raise ValueError(f"negative byte count: {nbytes}")
+    return -(-nbytes // page_size)
+
+
+def mbytes(n: float) -> int:
+    """Convenience: megabytes to bytes (the paper speaks in MBytes)."""
+    return int(n * 1024 * 1024)

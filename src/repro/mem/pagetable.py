@@ -1,0 +1,88 @@
+"""Per-segment page tables and the paper's space-overhead model.
+
+Section 4.4 quantifies the compression cache's bookkeeping overhead:
+
+* an unmodified system stores 4 bytes per non-resident page;
+* the compression cache extends each page-table entry by 8 bytes, to 12 —
+  "if the collective virtual memory of all running processes is 60 MBytes,
+  with 4-KByte pages, the per-page overhead ... would total 120 KBytes";
+* each physical frame mapped into the cache gets a 24-byte header, and
+  each compressed virtual page a 36-byte header.
+
+Those constants live here and in :mod:`repro.ccache.header`; the simulator
+subtracts the resulting bytes from usable memory so the overhead shows up
+in the results the way it did in the measured system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .content import PageContent
+from .page import PageId, PageState
+
+#: Bytes of VM metadata per page in the unmodified system (Section 4.4).
+STD_PTE_BYTES = 4
+
+#: Extra bytes per page-table entry added by the compression cache.
+CC_PTE_EXTRA_BYTES = 8
+
+#: Total bytes per page-table entry with the compression cache.
+CC_PTE_BYTES = STD_PTE_BYTES + CC_PTE_EXTRA_BYTES
+
+
+@dataclass
+class PageTableEntry:
+    """VM bookkeeping for one virtual page."""
+
+    page_id: PageId
+    content: PageContent
+    state: PageState = PageState.UNTOUCHED
+    frame: Optional[int] = None
+    #: Resident copy modified since it was last compressed / written out.
+    dirty: bool = False
+    #: Content version captured at the last compression or write-out; used
+    #: to decide whether a compressed/backing copy is stale.
+    saved_version: int = -1
+    #: Opaque handle into the compression cache (set by repro.ccache).
+    cc_handle: Optional[object] = None
+    #: Opaque handle into the backing store (set by repro.storage).
+    swap_handle: Optional[object] = None
+
+    def mark_resident(self, frame: int) -> None:
+        """Transition to RESIDENT in the given frame."""
+        self.state = PageState.RESIDENT
+        self.frame = frame
+
+    def mark_nonresident(self, state: PageState) -> None:
+        """Leave RESIDENT for ``state`` (COMPRESSED or BACKING_STORE)."""
+        if state == PageState.RESIDENT:
+            raise ValueError("use mark_resident for the resident transition")
+        self.state = state
+        self.frame = None
+
+    @property
+    def has_unsaved_changes(self) -> bool:
+        """True when the content changed since the last save point."""
+        return self.content.version != self.saved_version
+
+    def note_saved(self) -> None:
+        """Record that the current content version has been preserved."""
+        self.saved_version = self.content.version
+        self.dirty = False
+
+
+def page_table_overhead_bytes(
+    total_pages: int, compression_cache: bool
+) -> int:
+    """Page-table metadata footprint for an address space of ``total_pages``.
+
+    Reproduces the Section 4.4 example: 60 MBytes of virtual memory at
+    4 KBytes/page is 15360 pages; the *extra* compression-cache overhead is
+    8 bytes each, 120 KBytes total.
+    """
+    if total_pages < 0:
+        raise ValueError(f"negative page count: {total_pages}")
+    per_page = CC_PTE_BYTES if compression_cache else STD_PTE_BYTES
+    return total_pages * per_page

@@ -1,0 +1,144 @@
+"""VM segments: contiguous ranges of virtual pages with real contents.
+
+A Sprite process has code, heap, and stack segments, each backed by its
+own swap file.  Workloads build their address space from segments, giving
+each page genuine initial bytes via a content factory so compression
+ratios downstream are real measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional
+
+from .content import PageContent, zero_page
+from .page import DEFAULT_PAGE_SIZE, PageId
+from .pagetable import PageTableEntry
+
+ContentFactory = Callable[[int], bytes]
+
+
+@dataclass
+class Segment:
+    """A contiguous range of ``npages`` virtual pages.
+
+    Args:
+        segment_id: unique id within the address space.
+        name: human-readable label ("heap", "code", ...).
+        npages: segment length in pages.
+        content_factory: maps a page number to its initial bytes; defaults
+            to zero-filled pages.  Called lazily on first touch so huge
+            sparse address spaces stay cheap.
+        page_size: bytes per page.
+    """
+
+    segment_id: int
+    name: str
+    npages: int
+    content_factory: Optional[ContentFactory] = None
+    page_size: int = DEFAULT_PAGE_SIZE
+    _entries: Dict[int, PageTableEntry] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.npages <= 0:
+            raise ValueError(f"segment needs at least one page: {self.npages}")
+
+    @property
+    def nbytes(self) -> int:
+        """Segment length in bytes."""
+        return self.npages * self.page_size
+
+    def page_id(self, number: int) -> PageId:
+        """The PageId for page ``number`` of this segment."""
+        self._check_number(number)
+        return PageId(self.segment_id, number)
+
+    def entry(self, number: int) -> PageTableEntry:
+        """The page-table entry for page ``number``, created on first use."""
+        self._check_number(number)
+        pte = self._entries.get(number)
+        if pte is None:
+            if self.content_factory is None:
+                initial = zero_page(self.page_size)
+            else:
+                initial = self.content_factory(number)
+                if len(initial) != self.page_size:
+                    raise ValueError(
+                        f"content factory for segment {self.name!r} returned "
+                        f"{len(initial)} bytes for page {number}, expected "
+                        f"{self.page_size}"
+                    )
+            pte = PageTableEntry(
+                page_id=PageId(self.segment_id, number),
+                content=PageContent(initial, self.page_size),
+            )
+            self._entries[number] = pte
+        return pte
+
+    def touched_entries(self) -> Iterator[PageTableEntry]:
+        """All entries instantiated so far (pages ever referenced)."""
+        return iter(self._entries.values())
+
+    @property
+    def touched_pages(self) -> int:
+        """Count of pages ever referenced."""
+        return len(self._entries)
+
+    def _check_number(self, number: int) -> None:
+        if not 0 <= number < self.npages:
+            raise IndexError(
+                f"page {number} outside segment {self.name!r} "
+                f"(0..{self.npages - 1})"
+            )
+
+
+class AddressSpace:
+    """The collection of segments a workload touches, keyed by segment id."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+        self.page_size = page_size
+        self._segments: Dict[int, Segment] = {}
+        self._next_id = 0
+
+    def add_segment(
+        self,
+        name: str,
+        npages: int,
+        content_factory: Optional[ContentFactory] = None,
+    ) -> Segment:
+        """Create and register a new segment."""
+        segment = Segment(
+            segment_id=self._next_id,
+            name=name,
+            npages=npages,
+            content_factory=content_factory,
+            page_size=self.page_size,
+        )
+        self._segments[segment.segment_id] = segment
+        self._next_id += 1
+        return segment
+
+    def segment(self, segment_id: int) -> Segment:
+        """Look up a segment by id."""
+        try:
+            return self._segments[segment_id]
+        except KeyError:
+            raise KeyError(f"no segment with id {segment_id}") from None
+
+    def entry(self, page_id: PageId) -> PageTableEntry:
+        """The page-table entry for ``page_id``."""
+        return self.segment(page_id.segment).entry(page_id.number)
+
+    def segments(self) -> Iterator[Segment]:
+        """All registered segments."""
+        return iter(self._segments.values())
+
+    @property
+    def total_pages(self) -> int:
+        """Total declared size of the address space, in pages."""
+        return sum(seg.npages for seg in self._segments.values())
+
+    @property
+    def touched_pages(self) -> int:
+        """Pages ever referenced across all segments."""
+        return sum(seg.touched_pages for seg in self._segments.values())

@@ -1,0 +1,21 @@
+"""Closed-form models of Figure 1."""
+
+from .analytic import (
+    SpeedupSurface,
+    figure_1a,
+    figure_1b,
+    in_memory_speedup,
+    read_bandwidth_speedup,
+    transfer_bandwidth_speedup,
+    write_bandwidth_speedup,
+)
+
+__all__ = [
+    "SpeedupSurface",
+    "figure_1a",
+    "figure_1b",
+    "in_memory_speedup",
+    "read_bandwidth_speedup",
+    "transfer_bandwidth_speedup",
+    "write_bandwidth_speedup",
+]

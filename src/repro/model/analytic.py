@@ -1,0 +1,162 @@
+"""Analytic models behind Figure 1.
+
+Figure 1 plots two speedup surfaces "as a function of the compression
+ratio (fraction of bytes left after compression) and the speed of
+compression relative to I/O", assuming "decompression ... twice as fast
+as compression, as is roughly the case for algorithms such as LZRW1":
+
+* **Figure 1(a)** — bandwidth speedup of *transferring compressed pages
+  to backing store*: the page is compressed (or decompressed) in memory
+  and only ``r`` of its bytes cross the I/O channel.
+* **Figure 1(b)** — mean memory-reference-time speedup of *keeping
+  compressed pages in memory*, "for an application that sequentially
+  accesses twice as many pages as fit in memory, reading and writing one
+  word per page".  When pages compress to half or better, the whole
+  working set fits compressed and every fault is serviced by
+  (de)compression alone — the "sharp leap in speedup when all pages fit
+  in memory".
+
+Conventions:
+
+* ``ratio`` (r): compressed size / original size, 0 < r <= 1 (smaller is
+  better — the paper's "fraction of bytes left").
+* ``speed`` (c): compression bandwidth / I/O bandwidth.  Compressing a
+  page costs ``1/c`` page-I/O-times; decompressing costs ``1/(2c)``.
+
+All results are speedups relative to the uncompressed system (> 1 means
+compression wins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def _check(ratio: float, speed: float) -> None:
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1]: {ratio}")
+    if speed <= 0.0:
+        raise ValueError(f"speed must be positive: {speed}")
+
+
+def write_bandwidth_speedup(ratio: float, speed: float) -> float:
+    """Figure 1(a), write direction: compress then transfer r bytes.
+
+    Uncompressed cost: 1 page-I/O-time.  Compressed: 1/c (compression)
+    + r (smaller transfer).
+    """
+    _check(ratio, speed)
+    return 1.0 / (1.0 / speed + ratio)
+
+
+def read_bandwidth_speedup(ratio: float, speed: float) -> float:
+    """Figure 1(a), read direction: transfer r bytes then decompress
+    (at twice the compression bandwidth)."""
+    _check(ratio, speed)
+    return 1.0 / (1.0 / (2.0 * speed) + ratio)
+
+
+def transfer_bandwidth_speedup(ratio: float, speed: float) -> float:
+    """Figure 1(a): paging both directions (a write-out plus a read-in
+    per fault, the thrashing read-write pattern)."""
+    _check(ratio, speed)
+    uncompressed = 2.0
+    compressed = 1.0 / speed + 1.0 / (2.0 * speed) + 2.0 * ratio
+    return uncompressed / compressed
+
+
+def in_memory_speedup(
+    ratio: float,
+    speed: float,
+    memory_pages: int = 1,
+    touched_pages: int = 2,
+    io_per_fault: float = 2.0,
+) -> float:
+    """Figure 1(b): mean memory-reference-time speedup with pages
+    retained compressed in memory.
+
+    The modeled application sequentially cycles through
+    ``touched_pages``x the memory size (the paper's text uses 2x),
+    reading and writing one word per page: under LRU every page access
+    faults in both systems.
+
+    * Unmodified system: each fault costs ``io_per_fault`` page
+      transfers (write the dirty victim, read the target).
+    * Compression cache, working set fits compressed
+      (``touched - uncompressed_window <= memory_window / r``): each
+      fault costs one decompression plus one compression,
+      ``1/(2c) + 1/c``.
+    * Otherwise the overflow share of faults still pays I/O, on
+      compressed bytes (``2r`` per overflow fault), while the in-cache
+      share pays (de)compression only.
+
+    Returns the ratio of mean access times (> 1: compression wins).
+    """
+    _check(ratio, speed)
+    if memory_pages <= 0 or touched_pages <= 0:
+        raise ValueError("page counts must be positive")
+    if touched_pages <= memory_pages:
+        return 1.0  # no paging in either system
+
+    uncompressed_cost = io_per_fault  # per fault, in page-I/O times
+
+    compress_cost = 1.0 / speed + 1.0 / (2.0 * speed)
+    capacity_compressed = memory_pages / ratio
+    if touched_pages <= capacity_compressed:
+        hit_fraction = 1.0
+    else:
+        hit_fraction = capacity_compressed / touched_pages
+    overflow_fraction = 1.0 - hit_fraction
+    compressed_cost = (
+        hit_fraction * compress_cost
+        + overflow_fraction * (compress_cost + io_per_fault * ratio)
+    )
+    return uncompressed_cost / compressed_cost
+
+
+@dataclass(frozen=True)
+class SpeedupSurface:
+    """A sampled Figure 1 surface: speedup over (ratio, speed) grid."""
+
+    ratios: Tuple[float, ...]
+    speeds: Tuple[float, ...]
+    #: values[i][j] = speedup at (speeds[i], ratios[j])
+    values: Tuple[Tuple[float, ...], ...]
+
+    def at(self, speed: float, ratio: float) -> float:
+        """Nearest-sample lookup (for tests and reports)."""
+        i = min(range(len(self.speeds)),
+                key=lambda k: abs(self.speeds[k] - speed))
+        j = min(range(len(self.ratios)),
+                key=lambda k: abs(self.ratios[k] - ratio))
+        return self.values[i][j]
+
+
+def figure_1a(
+    ratios: Sequence[float] = tuple(r / 20 for r in range(1, 21)),
+    speeds: Sequence[float] = (0.5, 1, 2, 4, 8, 16),
+) -> SpeedupSurface:
+    """Sample the Figure 1(a) surface (transfer both directions)."""
+    values: List[Tuple[float, ...]] = []
+    for speed in speeds:
+        values.append(tuple(
+            transfer_bandwidth_speedup(ratio, speed) for ratio in ratios
+        ))
+    return SpeedupSurface(tuple(ratios), tuple(speeds), tuple(values))
+
+
+def figure_1b(
+    ratios: Sequence[float] = tuple(r / 20 for r in range(1, 21)),
+    speeds: Sequence[float] = (0.5, 1, 2, 4, 8, 16),
+    memory_pages: int = 1000,
+    touched_pages: int = 2000,
+) -> SpeedupSurface:
+    """Sample the Figure 1(b) surface (compressed pages kept in memory)."""
+    values: List[Tuple[float, ...]] = []
+    for speed in speeds:
+        values.append(tuple(
+            in_memory_speedup(ratio, speed, memory_pages, touched_pages)
+            for ratio in ratios
+        ))
+    return SpeedupSurface(tuple(ratios), tuple(speeds), tuple(values))

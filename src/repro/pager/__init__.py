@@ -1,0 +1,12 @@
+"""External pagers: the Mach-style restructuring the paper suggests."""
+
+from .compression import CompressionPager
+from .default import DefaultPager
+from .interface import MemoryObjectPager, PagerError
+
+__all__ = [
+    "CompressionPager",
+    "DefaultPager",
+    "MemoryObjectPager",
+    "PagerError",
+]

@@ -1,0 +1,170 @@
+"""The compression cache as a user-level external pager.
+
+Everything Section 4 builds inside the Sprite kernel — the circular
+buffer, the 4:3 threshold, the cleaner, compressed write-out — lives here
+behind the :class:`MemoryObjectPager` interface instead.  The kernel
+(:class:`repro.vm.external.ExternalPagerVM`) only sees pageout/pagein
+messages, exactly the restructuring the paper suggests for Mach.
+
+The trade this architecture makes is measurable with the benchmarks: the
+pager pays an IPC round trip per crossing (and an extra page copy across
+the protection boundary), but the cache policy becomes a replaceable
+user-level component.
+"""
+
+from __future__ import annotations
+
+from ..ccache.circular import CompressionCache
+from ..ccache.cleaner import CleanerPolicy
+from ..ccache.threshold import AdaptiveCompressionGate
+from ..compression.sampler import CompressionSampler
+from ..compression.stats import CompressionStats
+from ..mem.frames import FramePool
+from ..mem.page import PageId
+from ..sim.costs import CostModel
+from ..sim.ledger import Ledger, TimeCategory
+from ..storage.fragstore import FragmentStore
+from ..storage.swap import StandardSwap
+from .interface import MemoryObjectPager, PagerError
+
+
+class CompressionPager(MemoryObjectPager):
+    """A compression cache living entirely behind the pager interface."""
+
+    def __init__(
+        self,
+        ccache: CompressionCache,
+        fragstore: FragmentStore,
+        swap: StandardSwap,
+        sampler: CompressionSampler,
+        ledger: Ledger,
+        costs: CostModel,
+        page_size: int = 4096,
+        gate: AdaptiveCompressionGate | None = None,
+        cleaner: CleanerPolicy | None = None,
+        frames: FramePool | None = None,
+    ):
+        self.ccache = ccache
+        self.fragstore = fragstore
+        self.swap = swap
+        self.sampler = sampler
+        self.ledger = ledger
+        self.costs = costs
+        self.page_size = page_size
+        self.gate = gate if gate is not None else AdaptiveCompressionGate(
+            enabled=False
+        )
+        self.cleaner = cleaner if cleaner is not None else CleanerPolicy()
+        self.frames = frames
+        self.stats = CompressionStats()
+        # Version counter per page: a new pageout supersedes store copies.
+        self._versions: dict = {}
+        self._raw_on_swap: set = set()
+
+    # ------------------------------------------------------------------
+    # MemoryObjectPager
+    # ------------------------------------------------------------------
+
+    def pageout(self, page_id: PageId, data: bytes, dirty: bool) -> None:
+        if len(data) != self.page_size:
+            raise PagerError(
+                f"pageout of {len(data)} bytes; expected {self.page_size}"
+            )
+        if not dirty and self._holds_current(page_id):
+            # The kernel's copy matched what we already hold: if it is
+            # still compressed in memory or on a store, nothing to do.
+            return
+        if page_id in self.ccache:
+            self.ccache.drop(page_id)  # superseded contents
+        version = self._versions.get(page_id, 0) + 1
+        self._versions[page_id] = version
+        self._raw_on_swap.discard(page_id)
+
+        if self.gate.open:
+            self.ledger.charge(
+                TimeCategory.COMPRESS,
+                self.costs.compress_seconds(self.page_size),
+            )
+            result = self.sampler.compress(data)
+            kept = self.stats.record(self.page_size, result.compressed_size)
+            self.gate.record(kept)
+            if kept:
+                self.ccache.insert(
+                    page_id,
+                    result.payload,
+                    dirty=True,
+                    now=self.ledger.now,
+                    content_version=version,
+                )
+                return
+        else:
+            self.gate.note_bypass()
+        seconds = self.swap.write_page(page_id, data)
+        self.ledger.charge(TimeCategory.IO_WRITE, seconds)
+        self.fragstore.free(page_id)  # any compressed store copy is stale
+        self._raw_on_swap.add(page_id)
+
+    def pagein(self, page_id: PageId) -> bytes:
+        if page_id in self.ccache:
+            remove = self.ccache.is_dirty(page_id)
+            payload, _ = self.ccache.fetch(
+                page_id, remove=remove, now=self.ledger.now
+            )
+            self.ledger.charge(
+                TimeCategory.DECOMPRESS,
+                self.costs.decompress_seconds(self.page_size),
+            )
+            from ..compression.base import CompressionResult
+
+            return self.sampler.compressor.decompress(
+                CompressionResult(payload, self.page_size)
+            )
+        if self.fragstore.contains(page_id):
+            payload, seconds, _ = self.fragstore.get(page_id)
+            self.ledger.charge(TimeCategory.IO_READ, seconds)
+            self.ledger.charge(
+                TimeCategory.DECOMPRESS,
+                self.costs.decompress_seconds(self.page_size),
+            )
+            from ..compression.base import CompressionResult
+
+            return self.sampler.compressor.decompress(
+                CompressionResult(payload, self.page_size)
+            )
+        if page_id in self._raw_on_swap:
+            data, seconds = self.swap.read_page(page_id)
+            self.ledger.charge(TimeCategory.IO_READ, seconds)
+            return data
+        raise PagerError(f"pagein for unknown page {page_id}")
+
+    def holds(self, page_id: PageId) -> bool:
+        return self._holds_current(page_id)
+
+    def tick(self) -> None:
+        """Run the cleaner, as the in-kernel version does after faults."""
+        free = self.frames.free_frames if self.frames is not None else 0
+        goal = self.cleaner.pages_to_clean(
+            free_frames=free,
+            reclaimable_frames=self.ccache.reclaimable_frames(),
+            cache_frames=self.ccache.nframes,
+        )
+        if goal > 0:
+            self.ccache.clean_pages(goal)
+        gc_seconds = self.fragstore.maybe_collect()
+        if gc_seconds:
+            self.ledger.charge(TimeCategory.GC, gc_seconds)
+
+    def flush(self) -> None:
+        self.ccache.clean_pages(self.ccache.dirty_pages())
+        seconds = self.fragstore.flush()
+        if seconds:
+            self.ledger.charge(TimeCategory.IO_WRITE, seconds)
+
+    # ------------------------------------------------------------------
+
+    def _holds_current(self, page_id: PageId) -> bool:
+        return (
+            page_id in self.ccache
+            or self.fragstore.contains(page_id)
+            or page_id in self._raw_on_swap
+        )

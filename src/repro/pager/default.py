@@ -1,0 +1,40 @@
+"""The default memory manager: plain swap behind the pager interface."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..mem.page import PageId
+from ..sim.ledger import Ledger, TimeCategory
+from ..storage.swap import StandardSwap
+from .interface import MemoryObjectPager, PagerError
+
+
+class DefaultPager(MemoryObjectPager):
+    """Mach's default memory manager, modeled: raw pages to a swap file.
+
+    Clean pageouts (contents unchanged since the previous pageout) cost
+    nothing — the backing copy is still valid.
+    """
+
+    def __init__(self, swap: StandardSwap, ledger: Ledger):
+        self.swap = swap
+        self.ledger = ledger
+        self._seen: Dict[PageId, bool] = {}
+
+    def pageout(self, page_id: PageId, data: bytes, dirty: bool) -> None:
+        if not dirty and self.swap.contains(page_id):
+            return
+        seconds = self.swap.write_page(page_id, data)
+        self.ledger.charge(TimeCategory.IO_WRITE, seconds)
+        self._seen[page_id] = True
+
+    def pagein(self, page_id: PageId) -> bytes:
+        if not self.swap.contains(page_id):
+            raise PagerError(f"pagein for unknown page {page_id}")
+        data, seconds = self.swap.read_page(page_id)
+        self.ledger.charge(TimeCategory.IO_READ, seconds)
+        return data
+
+    def holds(self, page_id: PageId) -> bool:
+        return self.swap.contains(page_id)

@@ -1,0 +1,65 @@
+"""The Mach-style external-pager interface.
+
+Section 4 of the paper: "The idea of the compression cache should extend
+naturally to UNIX, Mach, or other systems; in fact, Mach's external pager
+interface should be an excellent foundation for future work in this
+area."  (The reference is Golub & Draves, *Moving the default memory
+manager out of the Mach kernel*, 1991.)
+
+This package follows that suggestion: the kernel side
+(:class:`repro.vm.external.ExternalPagerVM`) knows nothing about
+compression — it hands evicted pages to a *pager* object and asks the
+pager for them on faults, paying an IPC round trip per crossing.  A
+pager is then free to implement any retention policy:
+:class:`DefaultPager` mimics Mach's default memory manager (plain swap);
+:class:`repro.pager.compression.CompressionPager` is the whole
+compression cache living outside the kernel.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ..mem.page import PageId
+
+
+class MemoryObjectPager(ABC):
+    """Receives pageouts, supplies pageins — Mach's memory_object calls.
+
+    The kernel guarantees: ``pageout`` is called with the page's current
+    contents and a flag saying whether they changed since the previous
+    pageout of the same page; ``pagein`` is only called for pages that
+    were paged out at least once.  A pager must return exactly the bytes
+    of the most recent pageout.
+    """
+
+    @abstractmethod
+    def pageout(self, page_id: PageId, data: bytes, dirty: bool) -> None:
+        """Take custody of an evicted page.
+
+        Args:
+            page_id: the page.
+            data: its full current contents.
+            dirty: False when the pager already holds these exact
+                contents from an earlier pageout (the kernel's copy was
+                clean), so the pager may skip any work.
+        """
+
+    @abstractmethod
+    def pagein(self, page_id: PageId) -> bytes:
+        """Return the page's contents (the latest pageout's bytes)."""
+
+    @abstractmethod
+    def holds(self, page_id: PageId) -> bool:
+        """Has this pager ever taken custody of ``page_id``?"""
+
+    def tick(self) -> None:
+        """Periodic housekeeping opportunity (cleaners, GC).  Default: none."""
+
+    def flush(self) -> None:
+        """Push all retained dirty state to stable storage.  Default: none."""
+
+
+class PagerError(Exception):
+    """Raised when a pager violates its contract."""

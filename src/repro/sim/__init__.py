@@ -1,0 +1,29 @@
+"""Simulation engine: clock, ledger, costs, machine wiring, metrics."""
+
+from .clock import VirtualClock
+from .costs import CostModel
+from .engine import PageRef, RunResult, SimulationEngine, run_workload
+from .ledger import Ledger, TimeCategory
+from .machine import DEVICE_PRESETS, Machine, MachineConfig
+from .metrics import EvictionCounters, FaultCounters, SimulationMetrics
+from .report import format_minutes_seconds, render_series, render_table
+
+__all__ = [
+    "CostModel",
+    "DEVICE_PRESETS",
+    "EvictionCounters",
+    "FaultCounters",
+    "Ledger",
+    "Machine",
+    "MachineConfig",
+    "PageRef",
+    "RunResult",
+    "SimulationEngine",
+    "SimulationMetrics",
+    "TimeCategory",
+    "VirtualClock",
+    "format_minutes_seconds",
+    "render_series",
+    "render_table",
+    "run_workload",
+]

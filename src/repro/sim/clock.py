@@ -1,0 +1,32 @@
+"""Virtual time.
+
+The simulator never sleeps: every modeled action *charges* seconds to the
+clock.  All ages used by the LRU/allocator policies and every reported
+"time" come from this clock, so results are deterministic and independent
+of host speed.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonic virtual clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time.
+
+        Raises:
+            ValueError: on negative increments (time never rewinds).
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        self._now += seconds
+        return self._now

@@ -1,0 +1,162 @@
+"""The simulation engine: drives a reference stream through a machine.
+
+Workloads are generators of :class:`PageRef` events.  Each event is one
+page-granularity step of the application: a read or write touch, an
+optional in-place content mutation (so compressibility stays honest), and
+optional application CPU time (the non-memory work of programs like the
+``isca`` cache simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional
+
+from ..mem.content import PageContent
+from ..mem.page import PageId
+from .ledger import TimeCategory
+from .machine import Machine
+
+
+@dataclass(frozen=True)
+class PageRef:
+    """One page-granularity step of a workload.
+
+    Attributes:
+        page_id: the page touched.
+        write: whether the touch dirties the page.
+        mutate: applied to the page's content after the touch; write
+            events without an explicit mutation get a default one-word
+            store so dirtiness is always real.
+        compute_seconds: application CPU time consumed at this step,
+            charged to the BASE category.
+    """
+
+    page_id: PageId
+    write: bool = False
+    mutate: Optional[Callable[[PageContent], None]] = None
+    compute_seconds: float = 0.0
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one engine run."""
+
+    elapsed_seconds: float
+    metrics_snapshot: Dict[str, object]
+    device_counters: Dict[str, object]
+    fs_counters: Dict[str, object]
+    swap_counters: Dict[str, object]
+    fragstore_counters: Optional[Dict[str, object]]
+    ccache_counters: Optional[Dict[str, object]]
+    allocator_victims: Dict[str, int]
+    compression_ratio_percent: float
+    uncompressible_percent: float
+    time_breakdown: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line result for quick comparisons."""
+        return (
+            f"elapsed {self.elapsed_seconds:.2f}s, "
+            f"faults {self.metrics_snapshot['faults']['total']}, "
+            f"ratio {self.compression_ratio_percent:.0f}%, "
+            f"uncompressible {self.uncompressible_percent:.1f}%"
+        )
+
+
+class SimulationEngine:
+    """Feeds a reference stream to a machine's VM and collects results."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self._write_counter = 0
+
+    def run(
+        self,
+        references: Iterable[PageRef],
+        drain: bool = False,
+        max_references: Optional[int] = None,
+        observer: Optional[Callable[["Machine", int], None]] = None,
+        observe_every: int = 256,
+    ) -> RunResult:
+        """Execute the stream; returns the collected result.
+
+        Args:
+            references: the workload's event stream.
+            drain: evict and flush everything at the end (so every dirty
+                page reaches the backing store); application benchmarks
+                leave this off, matching process-exit semantics.
+            max_references: optional cap, for truncated smoke runs.
+            observer: called as ``observer(machine, reference_index)``
+                every ``observe_every`` references — for time series like
+                "compression-cache size over the run" (the Section 4.2
+                variable-allocation behaviour).
+            observe_every: observation period in references.
+        """
+        if observe_every < 1:
+            raise ValueError(f"observe_every must be >= 1: {observe_every}")
+        machine = self.machine
+        vm = machine.vm
+        ledger = machine.ledger
+        start = ledger.now
+        seen = 0
+        for ref in references:
+            if max_references is not None and seen >= max_references:
+                break
+            seen += 1
+            vm.touch(ref.page_id, write=ref.write)
+            if observer is not None and seen % observe_every == 0:
+                observer(machine, seen)
+            if ref.write:
+                content = machine.address_space.entry(ref.page_id).content
+                if ref.mutate is not None:
+                    ref.mutate(content)
+                else:
+                    self._default_mutation(content)
+            elif ref.mutate is not None:
+                raise ValueError(
+                    f"read reference for {ref.page_id} carries a mutation"
+                )
+            if ref.compute_seconds:
+                ledger.charge(TimeCategory.BASE, ref.compute_seconds)
+        if drain:
+            vm.drain()
+        return self._collect(start)
+
+    def _default_mutation(self, content: PageContent) -> None:
+        """A write touch with no explicit mutation stores one word."""
+        self._write_counter += 1
+        offset = (self._write_counter * 4) % (len(content) - 4)
+        offset -= offset % 4
+        content.store_word(offset, self._write_counter & 0xFFFFFFFF)
+
+    def _collect(self, start: float) -> RunResult:
+        machine = self.machine
+        metrics = machine.vm.metrics
+        return RunResult(
+            elapsed_seconds=machine.ledger.now - start,
+            metrics_snapshot=metrics.snapshot(machine.ledger),
+            device_counters=machine.device.counters.snapshot(),
+            fs_counters=machine.fs.counters.snapshot(),
+            swap_counters=machine.swap.counters.snapshot(),
+            fragstore_counters=(
+                machine.fragstore.counters.snapshot()
+                if machine.fragstore is not None
+                else None
+            ),
+            ccache_counters=(
+                machine.ccache.counters.snapshot()
+                if machine.ccache is not None
+                else None
+            ),
+            allocator_victims=machine.allocator.counters.snapshot(),
+            compression_ratio_percent=metrics.compression.mean_ratio_percent,
+            uncompressible_percent=metrics.compression.uncompressible_percent,
+            time_breakdown=machine.ledger.breakdown(),
+        )
+
+
+def run_workload(machine: Machine, references: Iterable[PageRef],
+                 drain: bool = False) -> RunResult:
+    """Convenience wrapper: one engine, one run."""
+    return SimulationEngine(machine).run(references, drain=drain)

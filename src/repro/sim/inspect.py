@@ -1,0 +1,100 @@
+"""Human-readable snapshots of machine state.
+
+Figure 2 of the paper shows "the state of the compression cache":
+physical slots labeled clean / dirty / free / new, with the compressed
+pages packed inside.  :func:`render_cache_figure` reproduces that
+diagram as text for any live machine, and :func:`render_memory_split`
+draws the three-way frame division the allocator maintains.
+
+These are debugging/teaching aids; nothing in the simulation depends on
+them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ccache.circular import CompressionCache
+from ..ccache.header import SlotState
+from ..mem.frames import FrameOwner, FramePool
+from .machine import Machine
+
+_STATE_GLYPHS = {
+    SlotState.CLEAN: "C",
+    SlotState.DIRTY: "D",
+    SlotState.FREE: ".",
+    SlotState.NEW: "n",
+}
+
+
+def render_cache_figure(cache: CompressionCache,
+                        slots_per_row: int = 32) -> str:
+    """A Figure 2-style map of the cache's slot states.
+
+    Each character is one physical-page slot in the cache's address
+    range: ``C`` clean, ``D`` dirty, ``n`` new (the tail being filled),
+    ``.`` free (no physical page associated).
+    """
+    states = cache.slot_states()
+    lines: List[str] = [
+        f"compression cache: {cache.nframes} frames, "
+        f"{cache.compressed_pages} compressed pages, "
+        f"{cache.dirty_pages()} dirty, "
+        f"{cache.live_bytes} live bytes"
+    ]
+    if not states:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    indices = sorted(states)
+    row: List[str] = []
+    row_start = indices[0]
+    for index in range(indices[0], indices[-1] + 1):
+        row.append(_STATE_GLYPHS[states.get(index, SlotState.FREE)])
+        if len(row) == slots_per_row:
+            lines.append(f"  {row_start:6d}  {''.join(row)}")
+            row = []
+            row_start = index + 1
+    if row:
+        lines.append(f"  {row_start:6d}  {''.join(row)}")
+    lines.append("  legend: C clean  D dirty  n new  . free")
+    return "\n".join(lines)
+
+
+def render_memory_split(frames: FramePool, width: int = 60) -> str:
+    """A bar showing the three-way division of physical memory."""
+    split = frames.split()
+    total = frames.total_frames
+    glyphs = {"vm": "U", "cc": "Z", "fs": "F", "free": "."}
+    bar: List[str] = []
+    for key in ("vm", "cc", "fs", "free"):
+        cells = round(width * split[key] / total)
+        bar.append(glyphs[key] * cells)
+    line = "".join(bar)[:width].ljust(width, ".")
+    return (
+        f"[{line}]\n"
+        f" U uncompressed VM: {split['vm']:5d}   "
+        f"Z compressed: {split['cc']:5d}   "
+        f"F file cache: {split['fs']:5d}   "
+        f"free: {split['free']:5d}"
+    )
+
+
+def render_machine(machine: Machine) -> str:
+    """Full-machine snapshot: memory split, cache figure, device totals."""
+    parts = [
+        f"machine: {machine.frames.total_frames} user frames, "
+        f"device {type(machine.device).__name__}, "
+        f"virtual time {machine.ledger.now:.2f}s",
+        render_memory_split(machine.frames),
+    ]
+    if machine.ccache is not None:
+        parts.append(render_cache_figure(machine.ccache))
+    parts.append(
+        "device: "
+        + ", ".join(
+            f"{key}={value}"
+            for key, value in machine.device.counters.snapshot().items()
+            if key != "busy_seconds"
+        )
+    )
+    return "\n".join(parts)

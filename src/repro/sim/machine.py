@@ -1,0 +1,316 @@
+"""Machine configuration and construction.
+
+A :class:`MachineConfig` captures everything the paper varies: user-memory
+size ("a 32-Mbyte machine can behave as though it has as little as
+12 Mbytes ... about 6 Mbytes are used by the kernel"), the backing device,
+compression algorithm, backing-store interface parameters (fragment size,
+batch size, spanning, partial-write policy), allocator biases, cleaner
+policy, and whether the compression cache exists at all.
+
+:func:`build_machine` wires every substrate together into a ready
+:class:`Machine` whose ``vm`` attribute is either a :class:`StandardVM`
+(the "unmodified system") or a :class:`CompressedVM`.  The Section 4.4
+metadata overheads are subtracted from usable memory so they cost the
+compression-cache configuration real frames, as they did in 1993.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+from ..ccache.allocator import AllocationBiases, ThreeWayAllocator
+from ..ccache.circular import CompressionCache
+from ..ccache.cleaner import CleanerPolicy
+from ..ccache.header import CODE_SIZE_BYTES, HASH_TABLE_BYTES, SLOT_DESCRIPTOR_BYTES
+from ..ccache.threshold import AdaptiveCompressionGate
+from ..compression import create as create_compressor
+from ..compression.sampler import CompressionSampler
+from ..compression.stats import CompressionThreshold
+from ..mem.frames import FrameOwner, FramePool
+from ..mem.page import mbytes
+from ..mem.pagetable import page_table_overhead_bytes
+from ..mem.segment import AddressSpace
+from ..storage.blockfs import BlockFileSystem, PartialWritePolicy
+from ..storage.buffercache import BufferCache
+from ..storage.device import BackingDevice
+from ..storage.disk import DiskModel
+from ..storage.fragstore import FragmentStore
+from ..storage.lfs import LogStructuredFS
+from ..storage.network import NetworkModel
+from ..storage.swap import StandardSwap
+from ..vm.compressed import CompressedVM
+from ..vm.faults import VmConfigurationError
+from ..vm.standard import StandardVM
+from ..vm.system import BaseVM
+from .costs import CostModel
+from .ledger import Ledger
+
+#: Named backing-device presets selectable from configuration.
+DEVICE_PRESETS: Dict[str, Callable[[], BackingDevice]] = {
+    "rz57": DiskModel.rz57,
+    "pcmcia": DiskModel.slow_pcmcia,
+    "modern-hdd": DiskModel.modern_hdd,
+    "ethernet": NetworkModel.ethernet,
+    "wavelan": NetworkModel.wavelan,
+}
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything needed to build one simulated machine."""
+
+    #: Memory available to user processes (kernel already subtracted).
+    memory_bytes: int = mbytes(14)
+    page_size: int = 4096
+    #: False builds the "unmodified system" baseline.
+    compression_cache: bool = True
+    compressor: str = "lzrw1"
+    device: str = "rz57"
+    #: "ufs" = update-in-place whole-block FS (Sprite's, with the
+    #: Section 4.3 read-modify-write behaviour); "lfs" = the
+    #: log-structured alternative the paper weighs for paging.
+    filesystem: str = "ufs"
+    partial_write_policy: PartialWritePolicy = (
+        PartialWritePolicy.READ_MODIFY_WRITE
+    )
+    fragment_size: int = 1024
+    batch_bytes: int = 32768
+    allow_spanning: bool = True
+    threshold_factor: float = 4.0 / 3.0
+    biases: AllocationBiases = field(default_factory=AllocationBiases)
+    cleaner: CleanerPolicy = field(default_factory=CleanerPolicy)
+    adaptive_gate: bool = False
+    prefetch_colocated: bool = True
+    min_resident_frames: int = 2
+    costs: CostModel = field(default_factory=CostModel)
+    #: "monolithic" = the paper's in-kernel design; "external-pager" =
+    #: the Mach-style restructuring (same policies behind an IPC-charged
+    #: pager interface).
+    vm_architecture: str = "monolithic"
+    #: Fixed-size cache (Section 4.2's first prototype); None = variable.
+    ccache_max_frames: Optional[int] = None
+    #: Run the real compressor on every page (no memoization).
+    exact_compression: bool = False
+    #: Verify every decompression round trip (forces exact compression).
+    paranoid: bool = False
+
+    def variant(self, **changes) -> "MachineConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def baseline(self) -> "MachineConfig":
+        """The matching unmodified-system configuration."""
+        return self.variant(compression_cache=False)
+
+
+class Machine:
+    """A fully wired simulated machine for one address space."""
+
+    def __init__(self, config: MachineConfig, address_space: AddressSpace):
+        if config.memory_bytes < 4 * config.page_size:
+            raise VmConfigurationError(
+                f"{config.memory_bytes} bytes is too little memory to page in"
+            )
+        if address_space.page_size != config.page_size:
+            raise VmConfigurationError(
+                f"address space page size {address_space.page_size} != "
+                f"machine page size {config.page_size}"
+            )
+        self.config = config
+        self.address_space = address_space
+        self.ledger = Ledger()
+
+        usable = config.memory_bytes - self._metadata_bytes()
+        total_frames = usable // config.page_size
+        if total_frames < config.min_resident_frames + 1:
+            raise VmConfigurationError(
+                f"metadata overhead leaves only {total_frames} frames"
+            )
+        self.frames = FramePool(total_frames)
+
+        device_factory = DEVICE_PRESETS.get(config.device)
+        if device_factory is None:
+            known = ", ".join(sorted(DEVICE_PRESETS))
+            raise VmConfigurationError(
+                f"unknown device preset {config.device!r}; known: {known}"
+            )
+        self.device = device_factory()
+        if config.filesystem == "ufs":
+            self.fs = BlockFileSystem(
+                self.device,
+                block_size=config.page_size,
+                partial_write_policy=config.partial_write_policy,
+            )
+        elif config.filesystem == "lfs":
+            self.fs = LogStructuredFS(
+                self.device, block_size=config.page_size
+            )
+        else:
+            raise VmConfigurationError(
+                f"unknown filesystem {config.filesystem!r}; "
+                "known: ufs, lfs"
+            )
+        self.swap = StandardSwap(self.fs, page_size=config.page_size)
+        self.allocator = ThreeWayAllocator(
+            self.frames,
+            biases=config.biases,
+            now_fn=lambda: self.ledger.now,
+        )
+        self.buffer_cache = BufferCache(
+            self.fs,
+            self.frames,
+            frame_provider=self.allocator.obtain_frame,
+        )
+        self.allocator.register(FrameOwner.FILE_CACHE, self.buffer_cache)
+
+        self.fragstore: Optional[FragmentStore] = None
+        self.ccache: Optional[CompressionCache] = None
+        self.sampler: Optional[CompressionSampler] = None
+        self.gate: Optional[AdaptiveCompressionGate] = None
+
+        if config.vm_architecture not in ("monolithic", "external-pager"):
+            raise VmConfigurationError(
+                f"unknown vm_architecture {config.vm_architecture!r}; "
+                "known: monolithic, external-pager"
+            )
+        external = config.vm_architecture == "external-pager"
+        self.pager = None
+
+        if config.compression_cache:
+            exact = config.exact_compression or config.paranoid
+            self.fragstore = FragmentStore(
+                self.fs,
+                fragment_size=config.fragment_size,
+                batch_bytes=config.batch_bytes,
+                allow_spanning=config.allow_spanning,
+            )
+            self.sampler = CompressionSampler(
+                create_compressor(config.compressor),
+                exact=exact,
+                keep_payloads=True,
+            )
+            self.ccache = CompressionCache(
+                self.frames,
+                self.fragstore,
+                self.ledger,
+                page_size=config.page_size,
+                frame_provider=self.allocator.obtain_frame,
+                max_frames=config.ccache_max_frames,
+            )
+            self.allocator.register(FrameOwner.COMPRESSION, self.ccache)
+            self.gate = AdaptiveCompressionGate(enabled=config.adaptive_gate)
+            if external:
+                from ..pager.compression import CompressionPager
+                from ..vm.external import ExternalPagerVM
+
+                self.pager = CompressionPager(
+                    ccache=self.ccache,
+                    fragstore=self.fragstore,
+                    swap=self.swap,
+                    sampler=self.sampler,
+                    ledger=self.ledger,
+                    costs=config.costs,
+                    page_size=config.page_size,
+                    gate=self.gate,
+                    cleaner=config.cleaner,
+                    frames=self.frames,
+                )
+                self.vm: BaseVM = ExternalPagerVM(
+                    address_space=address_space,
+                    frames=self.frames,
+                    allocator=self.allocator,
+                    ledger=self.ledger,
+                    costs=config.costs,
+                    pager=self.pager,
+                    min_resident_frames=config.min_resident_frames,
+                    paranoid=config.paranoid,
+                )
+                self.pager.stats.threshold = CompressionThreshold(
+                    config.threshold_factor
+                )
+            else:
+                self.vm = CompressedVM(
+                    address_space=address_space,
+                    frames=self.frames,
+                    allocator=self.allocator,
+                    ledger=self.ledger,
+                    costs=config.costs,
+                    ccache=self.ccache,
+                    sampler=self.sampler,
+                    swap=self.swap,
+                    fragstore=self.fragstore,
+                    gate=self.gate,
+                    cleaner=config.cleaner,
+                    min_resident_frames=config.min_resident_frames,
+                    prefetch_colocated=config.prefetch_colocated,
+                    paranoid=config.paranoid,
+                )
+                self.vm.metrics.compression.threshold = CompressionThreshold(
+                    config.threshold_factor
+                )
+        elif external:
+            from ..pager.default import DefaultPager
+            from ..vm.external import ExternalPagerVM
+
+            self.pager = DefaultPager(self.swap, self.ledger)
+            self.vm = ExternalPagerVM(
+                address_space=address_space,
+                frames=self.frames,
+                allocator=self.allocator,
+                ledger=self.ledger,
+                costs=config.costs,
+                pager=self.pager,
+                min_resident_frames=config.min_resident_frames,
+                paranoid=config.paranoid,
+            )
+        else:
+            self.vm = StandardVM(
+                address_space=address_space,
+                frames=self.frames,
+                allocator=self.allocator,
+                ledger=self.ledger,
+                costs=config.costs,
+                swap=self.swap,
+                min_resident_frames=config.min_resident_frames,
+                paranoid=config.paranoid,
+            )
+
+    def _metadata_bytes(self) -> int:
+        """Section 4.4 bookkeeping memory, charged against user memory."""
+        config = self.config
+        overhead = page_table_overhead_bytes(
+            self.address_space.total_pages, config.compression_cache
+        )
+        if config.compression_cache:
+            max_cache_frames = config.memory_bytes // config.page_size
+            overhead += (
+                HASH_TABLE_BYTES
+                + CODE_SIZE_BYTES
+                + SLOT_DESCRIPTOR_BYTES * max_cache_frames
+            )
+        return overhead
+
+    @property
+    def user_frames(self) -> int:
+        """Frames available to the three consumers."""
+        return self.frames.total_frames
+
+    def reset_measurement(self) -> None:
+        """Start a fresh measurement window.
+
+        Keeps all machine state (resident pages, compressed pages, swap
+        contents) but zeroes metrics and ledger totals, so a workload can
+        run an unmeasured setup phase — e.g. loading ``gold``'s index —
+        before the timed queries.
+        """
+        from .metrics import SimulationMetrics
+
+        self.ledger.reset_totals()
+        self.vm.metrics = SimulationMetrics()
+        if self.config.compression_cache:
+            from ..compression.stats import CompressionThreshold
+
+            self.vm.metrics.compression.threshold = CompressionThreshold(
+                self.config.threshold_factor
+            )

@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The benchmarks print the same rows the paper's tables and figures report;
+these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_minutes_seconds(seconds: float) -> str:
+    """Render seconds as the paper's ``minutes:seconds`` style."""
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds}")
+    whole = int(round(seconds))
+    return f"{whole // 60}:{whole % 60:02d}"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table with right-aligned numeric columns."""
+    materialized: List[List[str]] = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_series(name: str, xs: Sequence[float],
+                  ys: Sequence[float], x_label: str = "x",
+                  y_label: str = "y") -> str:
+    """Render one figure series as aligned (x, y) pairs."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name}: {len(xs)} xs vs {len(ys)} ys")
+    lines = [f"series {name} ({x_label} -> {y_label})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x:>12.3f}  {y:>12.4f}")
+    return "\n".join(lines)

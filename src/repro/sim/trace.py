@@ -1,0 +1,148 @@
+"""Reference-trace recording and replay.
+
+Trace-driven studies live and die by their traces.  This module lets a
+workload's reference stream be captured once and replayed many times
+(across machine configurations, policies, and scales), and provides a
+compact on-disk format so traces can be shipped with experiments.
+
+Format (version 1): a text header line ``#repro-trace v1 <count>``, then
+one record per line: ``segment page flags [compute_us]`` where flags is
+``r`` or ``w``.  Mutations cannot be serialized (they are closures), so
+recorded write events replay with the engine's default one-word
+mutation — which preserves dirtiness and (for workloads with stable
+compressibility keys) compression behaviour.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Union
+
+from ..mem.page import PageId
+from .engine import PageRef
+
+_HEADER = "#repro-trace v1"
+
+
+class TraceFormatError(Exception):
+    """Raised when a trace file is malformed."""
+
+
+@dataclass
+class Trace:
+    """An in-memory reference trace."""
+
+    refs: List[PageRef] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.refs)
+
+    def __iter__(self) -> Iterator[PageRef]:
+        return iter(self.refs)
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of events that write."""
+        if not self.refs:
+            return 0.0
+        return sum(ref.write for ref in self.refs) / len(self.refs)
+
+    def touched_pages(self) -> int:
+        """Distinct pages referenced."""
+        return len({ref.page_id for ref in self.refs})
+
+    @classmethod
+    def record(cls, references: Iterable[PageRef],
+               max_events: Optional[int] = None) -> "Trace":
+        """Capture a reference stream (dropping mutation closures)."""
+        refs: List[PageRef] = []
+        for ref in references:
+            if max_events is not None and len(refs) >= max_events:
+                break
+            refs.append(
+                PageRef(
+                    page_id=ref.page_id,
+                    write=ref.write,
+                    compute_seconds=ref.compute_seconds,
+                )
+            )
+        return cls(refs)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def dump(self, target: Union[str, Path, io.TextIOBase]) -> None:
+        """Write the trace to a path or text stream."""
+        if isinstance(target, (str, Path)):
+            with open(target, "w") as handle:
+                self._write(handle)
+        else:
+            self._write(target)
+
+    def _write(self, handle) -> None:
+        handle.write(f"{_HEADER} {len(self.refs)}\n")
+        for ref in self.refs:
+            flags = "w" if ref.write else "r"
+            if ref.compute_seconds:
+                micros = round(ref.compute_seconds * 1e6)
+                handle.write(
+                    f"{ref.page_id.segment} {ref.page_id.number} "
+                    f"{flags} {micros}\n"
+                )
+            else:
+                handle.write(
+                    f"{ref.page_id.segment} {ref.page_id.number} {flags}\n"
+                )
+
+    @classmethod
+    def load(cls, source: Union[str, Path, io.TextIOBase]) -> "Trace":
+        """Read a trace from a path or text stream."""
+        if isinstance(source, (str, Path)):
+            with open(source) as handle:
+                return cls._read(handle)
+        return cls._read(source)
+
+    @classmethod
+    def _read(cls, handle) -> "Trace":
+        header = handle.readline().rstrip("\n")
+        if not header.startswith(_HEADER):
+            raise TraceFormatError(f"bad trace header: {header!r}")
+        try:
+            declared = int(header.split()[-1])
+        except ValueError:
+            raise TraceFormatError(f"bad trace count in: {header!r}")
+        refs: List[PageRef] = []
+        for lineno, line in enumerate(handle, start=2):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) not in (3, 4):
+                raise TraceFormatError(
+                    f"line {lineno}: expected 3 or 4 fields, got {parts!r}"
+                )
+            try:
+                segment, number = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise TraceFormatError(f"line {lineno}: bad page id")
+            if parts[2] not in ("r", "w"):
+                raise TraceFormatError(
+                    f"line {lineno}: bad flags {parts[2]!r}"
+                )
+            compute = 0.0
+            if len(parts) == 4:
+                compute = int(parts[3]) / 1e6
+            refs.append(
+                PageRef(
+                    page_id=PageId(segment, number),
+                    write=parts[2] == "w",
+                    compute_seconds=compute,
+                )
+            )
+        if len(refs) != declared:
+            raise TraceFormatError(
+                f"trace declares {declared} events but contains {len(refs)}"
+            )
+        return cls(refs)

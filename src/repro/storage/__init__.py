@@ -1,0 +1,36 @@
+"""Backing-store substrate: device models, block FS, swap layers, cache."""
+
+from .blockfs import BlockFile, BlockFileSystem, FsCounters, PartialWritePolicy
+from .buffercache import BufferCache, BufferCacheCounters
+from .compressed_buffercache import (
+    CompressedBufferCache,
+    CompressedCacheCounters,
+)
+from .device import BackingDevice, DeviceCounters
+from .disk import DiskModel
+from .fragstore import FragmentLocation, FragmentStore, FragStoreCounters
+from .lfs import LfsCounters, LogStructuredFS
+from .network import NetworkModel
+from .swap import StandardSwap, SwapCounters
+
+__all__ = [
+    "BackingDevice",
+    "BlockFile",
+    "BlockFileSystem",
+    "BufferCache",
+    "BufferCacheCounters",
+    "CompressedBufferCache",
+    "CompressedCacheCounters",
+    "DeviceCounters",
+    "DiskModel",
+    "FragStoreCounters",
+    "FragmentLocation",
+    "FragmentStore",
+    "FsCounters",
+    "LfsCounters",
+    "LogStructuredFS",
+    "NetworkModel",
+    "PartialWritePolicy",
+    "StandardSwap",
+    "SwapCounters",
+]

@@ -1,0 +1,311 @@
+"""Compressed swap: fragments, batched writes, and garbage collection.
+
+Section 4.3's implemented solution for variable-sized compressed pages:
+
+* each compressed page is padded "to a uniform fragment size (currently
+  1 Kbyte)";
+* "a set of fragments, spanning several file blocks, [is written] in a
+  single operation.  Currently 32 Kbytes of compressed pages are written
+  at once";
+* "the system is parameterized to determine whether pages are allowed to
+  span file block boundaries: if they cannot, then fragmentation increases
+  and the effective bandwidth for writes ... correspondingly decreases";
+* the one-to-one page↔offset mapping is lost, so the store keeps an
+  explicit location per page and garbage-collects obsolete copies (a page
+  rewritten after modification lands at a new location);
+* a fault must read whole file blocks, so a page spanning two blocks turns
+  "a 4-Kbyte read into an 8-Kbyte one" — but the read also returns any
+  other compressed pages wholly contained in the transferred blocks, which
+  the VM may use as a prefetch when "page accesses exhibit sufficient
+  locality".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..mem.page import PageId
+from .blockfs import BlockFile, BlockFileSystem
+
+
+@dataclass(frozen=True)
+class FragmentLocation:
+    """Where a compressed page lives in the compressed-swap file."""
+
+    offset: int
+    nbytes: int          # true payload length (padding stripped on read)
+    padded_bytes: int    # fragment-aligned footprint
+
+
+@dataclass
+class FragStoreCounters:
+    """Traffic and space accounting for the compressed swap."""
+
+    pages_put: int = 0
+    pages_got: int = 0
+    batch_flushes: int = 0
+    padding_bytes: int = 0
+    spanning_skips: int = 0       # gaps inserted when spanning is disabled
+    garbage_bytes_created: int = 0
+    gc_runs: int = 0
+    gc_bytes_moved: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "pages_put": self.pages_put,
+            "pages_got": self.pages_got,
+            "batch_flushes": self.batch_flushes,
+            "padding_bytes": self.padding_bytes,
+            "spanning_skips": self.spanning_skips,
+            "garbage_bytes_created": self.garbage_bytes_created,
+            "gc_runs": self.gc_runs,
+            "gc_bytes_moved": self.gc_bytes_moved,
+        }
+
+
+class FragmentStore:
+    """Backing store for variable-sized compressed pages.
+
+    Args:
+        fs: file system holding the compressed-swap file.
+        fragment_size: padding granularity; the paper uses 1 KByte.
+        batch_bytes: bytes of compressed pages written per operation; the
+            paper uses 32 KBytes.
+        allow_spanning: may a page cross a file-block boundary?
+        gc_threshold: garbage fraction beyond which :meth:`maybe_collect`
+            compacts the file.
+        gc_min_bytes: don't bother collecting files smaller than this.
+    """
+
+    def __init__(
+        self,
+        fs: BlockFileSystem,
+        fragment_size: int = 1024,
+        batch_bytes: int = 32768,
+        allow_spanning: bool = True,
+        gc_threshold: float = 0.5,
+        gc_min_bytes: int = 1 << 20,
+    ):
+        if fragment_size <= 0 or fs.block_size % fragment_size:
+            raise ValueError(
+                f"fragment size {fragment_size} must divide the block size "
+                f"{fs.block_size}"
+            )
+        if batch_bytes < fragment_size:
+            raise ValueError("batch must hold at least one fragment")
+        if not 0.0 < gc_threshold <= 1.0:
+            raise ValueError(f"gc_threshold out of range: {gc_threshold}")
+        self.fs = fs
+        self.fragment_size = fragment_size
+        self.batch_bytes = batch_bytes
+        self.allow_spanning = allow_spanning
+        self.gc_threshold = gc_threshold
+        self.gc_min_bytes = gc_min_bytes
+        self.counters = FragStoreCounters()
+        self._file: BlockFile = fs.open("cswap")
+        self._locations: Dict[PageId, FragmentLocation] = {}
+        self._append_offset = 0
+        self._garbage_bytes = 0
+        self._batch_start = 0
+        self._batch_buf = bytearray()
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def live_bytes(self) -> int:
+        """Padded footprint of all current pages."""
+        return sum(loc.padded_bytes for loc in self._locations.values())
+
+    @property
+    def file_bytes(self) -> int:
+        """Current extent of the compressed-swap file (including batch)."""
+        return self._append_offset
+
+    @property
+    def garbage_fraction(self) -> float:
+        """Fraction of the file occupied by obsolete or skipped bytes."""
+        if self._append_offset == 0:
+            return 0.0
+        return self._garbage_bytes / self._append_offset
+
+    def contains(self, page_id: PageId) -> bool:
+        """True when a current compressed copy of the page exists."""
+        return page_id in self._locations
+
+    def location(self, page_id: PageId) -> Optional[FragmentLocation]:
+        """Current location of a page, if any (diagnostics / tests)."""
+        return self._locations.get(page_id)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def put(self, page_id: PageId, payload: bytes) -> float:
+        """Stage a compressed page for write-out; returns seconds charged.
+
+        The page joins the current batch immediately (and is durable for
+        simulation purposes once :meth:`flush` runs); time is only charged
+        when a full batch is flushed.
+        """
+        if not payload:
+            raise ValueError("refusing to store an empty compressed page")
+        self.free(page_id)
+
+        padded = -(-len(payload) // self.fragment_size) * self.fragment_size
+        block_size = self.fs.block_size
+        if not self.allow_spanning:
+            room_in_block = block_size - self._append_offset % block_size
+            if padded > room_in_block:
+                skip = room_in_block % block_size
+                if skip:
+                    self._batch_buf += bytes(skip)
+                    self._append_offset += skip
+                    self._garbage_bytes += skip
+                    self.counters.spanning_skips += 1
+                    self.counters.garbage_bytes_created += skip
+
+        location = FragmentLocation(self._append_offset, len(payload), padded)
+        self._locations[page_id] = location
+        self._batch_buf += payload
+        self._batch_buf += bytes(padded - len(payload))
+        self._append_offset += padded
+        self.counters.pages_put += 1
+        self.counters.padding_bytes += padded - len(payload)
+
+        if len(self._batch_buf) >= self.batch_bytes:
+            return self.flush()
+        return 0.0
+
+    def flush(self) -> float:
+        """Write the pending batch in a single operation; returns seconds."""
+        if not self._batch_buf:
+            return 0.0
+        seconds = self.fs.write(
+            self._file, self._batch_start, bytes(self._batch_buf)
+        )
+        self._batch_start = self._append_offset
+        self._batch_buf.clear()
+        self.counters.batch_flushes += 1
+        return seconds
+
+    def free(self, page_id: PageId) -> None:
+        """Invalidate the stored copy of ``page_id`` (it became garbage)."""
+        old = self._locations.pop(page_id, None)
+        if old is not None:
+            self._garbage_bytes += old.padded_bytes
+            self.counters.garbage_bytes_created += old.padded_bytes
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def get(self, page_id: PageId) -> Tuple[bytes, float, List[PageId]]:
+        """Fetch a compressed page.
+
+        Returns (payload, seconds, colocated) where ``colocated`` lists the
+        other live pages whose bytes were wholly contained in the file
+        blocks this read transferred — candidates for prefetching.
+        """
+        location = self._locations.get(page_id)
+        if location is None:
+            raise KeyError(f"no compressed copy of {page_id} on backing store")
+
+        if location.offset >= self._batch_start:
+            # Still in the unflushed batch: serve from the staging buffer.
+            lo = location.offset - self._batch_start
+            payload = bytes(self._batch_buf[lo : lo + location.nbytes])
+            self.counters.pages_got += 1
+            return payload, 0.0, []
+
+        block_size = self.fs.block_size
+        aligned_start = (location.offset // block_size) * block_size
+        end = location.offset + location.nbytes
+        aligned_end = -(-end // block_size) * block_size
+        data, seconds = self.fs.read(
+            self._file, aligned_start, aligned_end - aligned_start
+        )
+        lo = location.offset - aligned_start
+        payload = data[lo : lo + location.nbytes]
+        self.counters.pages_got += 1
+
+        colocated = [
+            other
+            for other, loc in self._locations.items()
+            if other != page_id
+            and loc.offset >= aligned_start
+            and loc.offset + loc.nbytes <= min(aligned_end, self._batch_start)
+        ]
+        return payload, seconds, colocated
+
+    def peek(self, page_id: PageId) -> bytes:
+        """Return a page's payload without charging I/O (prefetch use)."""
+        location = self._locations.get(page_id)
+        if location is None:
+            raise KeyError(f"no compressed copy of {page_id} on backing store")
+        if location.offset >= self._batch_start:
+            lo = location.offset - self._batch_start
+            return bytes(self._batch_buf[lo : lo + location.nbytes])
+        return self.fs.peek(self._file, location.offset, location.nbytes)
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def maybe_collect(self, force: bool = False) -> float:
+        """Compact the file when garbage dominates; returns seconds charged.
+
+        The collector reads the whole file once, rewrites the live pages
+        contiguously from offset zero, and truncates — one large read and
+        one large write, the same streaming pattern an LFS cleaner uses.
+        """
+        if not force:
+            if self._append_offset < self.gc_min_bytes:
+                return 0.0
+            if self.garbage_fraction <= self.gc_threshold:
+                return 0.0
+        seconds = self.flush()
+
+        live = sorted(self._locations.items(), key=lambda kv: kv[1].offset)
+        if not live:
+            self.fs.truncate(self._file, 0)
+            self._append_offset = 0
+            self._batch_start = 0
+            self._garbage_bytes = 0
+            self.counters.gc_runs += 1
+            return seconds
+
+        old_extent = self._append_offset
+        data, read_seconds = self.fs.read(self._file, 0, old_extent)
+        seconds += read_seconds
+
+        compacted = bytearray()
+        new_locations: Dict[PageId, FragmentLocation] = {}
+        block_size = self.fs.block_size
+        new_garbage = 0
+        for page_id, loc in live:
+            offset = len(compacted)
+            if not self.allow_spanning:
+                room = block_size - offset % block_size
+                if loc.padded_bytes > room:
+                    gap = room % block_size
+                    compacted += bytes(gap)
+                    new_garbage += gap
+                    offset = len(compacted)
+            new_locations[page_id] = FragmentLocation(
+                offset, loc.nbytes, loc.padded_bytes
+            )
+            compacted += data[loc.offset : loc.offset + loc.nbytes]
+            compacted += bytes(loc.padded_bytes - loc.nbytes)
+
+        seconds += self.fs.write(self._file, 0, bytes(compacted))
+        self.fs.truncate(self._file, len(compacted))
+        self._locations = new_locations
+        self._append_offset = len(compacted)
+        self._batch_start = len(compacted)
+        self._garbage_bytes = new_garbage
+        self.counters.gc_runs += 1
+        self.counters.gc_bytes_moved += len(compacted)
+        return seconds

@@ -1,0 +1,71 @@
+"""Network backing-store model.
+
+The paper's target environment is "mobile computers [that] may communicate
+over slower wireless networks and run either diskless or with small,
+slower local disks", paging over the network to a server.  The model is
+latency + serialization at the link rate, with a fixed per-operation RPC
+overhead (request processing at the server).
+
+Presets:
+
+* :meth:`NetworkModel.ethernet` — 10-Mbps Ethernet to a file server with
+  the page in server memory; the paper cites environments where this beats
+  a local disk [Nelson et al. 1988].
+* :meth:`NetworkModel.wavelan` — a ~2-Mbps early-90s wireless LAN, the
+  "slower backing stores, such as wireless networks" of Section 6 where
+  compression helps most.
+"""
+
+from __future__ import annotations
+
+from .device import BackingDevice
+
+
+class NetworkModel(BackingDevice):
+    """Latency/bandwidth model of paging across a network.
+
+    Args:
+        bandwidth_bits_per_s: link serialization rate.
+        rpc_overhead_ms: fixed request/response processing cost.
+        packet_bytes: maximum transfer unit; each packet pays a small
+            per-packet cost on top of serialization.
+        per_packet_ms: that per-packet cost.
+    """
+
+    def __init__(
+        self,
+        bandwidth_bits_per_s: float = 10e6,
+        rpc_overhead_ms: float = 2.0,
+        packet_bytes: int = 1500,
+        per_packet_ms: float = 0.3,
+    ):
+        super().__init__()
+        if bandwidth_bits_per_s <= 0 or packet_bytes <= 0:
+            raise ValueError("network parameters must be positive")
+        self.bandwidth_bytes = bandwidth_bits_per_s / 8.0
+        self.rpc_overhead_s = rpc_overhead_ms / 1000.0
+        self.packet_bytes = packet_bytes
+        self.per_packet_s = per_packet_ms / 1000.0
+
+    def _transfer_seconds(self, nbytes: int, sequential: bool) -> float:
+        packets = max(1, -(-nbytes // self.packet_bytes))
+        seconds = nbytes / self.bandwidth_bytes + packets * self.per_packet_s
+        # A sequential (streamed) transfer amortizes the RPC round trip.
+        if not sequential:
+            seconds += self.rpc_overhead_s
+        return seconds
+
+    @classmethod
+    def ethernet(cls) -> "NetworkModel":
+        """10-Mbps Ethernet to a server holding pages in memory."""
+        return cls()
+
+    @classmethod
+    def wavelan(cls) -> "NetworkModel":
+        """Early-1990s ~2-Mbps wireless LAN (the mobile target)."""
+        return cls(
+            bandwidth_bits_per_s=2e6,
+            rpc_overhead_ms=5.0,
+            packet_bytes=1400,
+            per_packet_ms=1.0,
+        )

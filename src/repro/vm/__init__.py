@@ -1,0 +1,16 @@
+"""Virtual memory systems: standard demand paging and the compression cache."""
+
+from .compressed import CompressedVM
+from .external import ExternalPagerVM
+from .faults import FaultSource, VmConfigurationError
+from .standard import StandardVM
+from .system import BaseVM
+
+__all__ = [
+    "BaseVM",
+    "CompressedVM",
+    "ExternalPagerVM",
+    "FaultSource",
+    "StandardVM",
+    "VmConfigurationError",
+]

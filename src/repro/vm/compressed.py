@@ -1,0 +1,344 @@
+"""Demand paging through the compression cache.
+
+The Section 4.1 flow, verbatim from the paper:
+
+* "LRU pages are compressed to make room for new pages.  The compressed
+  pages are retained in memory for a period of time";
+* "If not all pages fit in memory, even with some compressed, the LRU
+  compressed pages are written to backing store" (the cleaner and the
+  cache's shrink path, batched through the fragment store);
+* on a fault, "the VM system checks to see whether the page is compressed
+  in memory or on the backing store.  If it is on backing store, it is
+  first brought into memory and stored in the compression cache, then it
+  is decompressed ...  The compressed copy in memory can be freed at any
+  time, since there is already a copy on backing store."
+
+Plus the two accelerations the paper describes:
+
+* the 4:3 threshold — pages that don't compress are routed to the
+  ordinary uncompressed swap, and the compression time is charged anyway
+  ("wasted effort");
+* colocated prefetch — a fragment-store read transfers whole file blocks,
+  and every other compressed page in those blocks can enter the cache for
+  free I/O ("multiple pages can be obtained with a single read").
+
+The adaptive gate (:class:`AdaptiveCompressionGate`) implements the
+paper's "it should be possible to disable compression completely when
+poor compression is obtained" follow-on; it ships disabled-by-default to
+match the measured system.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ccache.allocator import ThreeWayAllocator
+from ..ccache.circular import CompressionCache
+from ..ccache.cleaner import CleanerPolicy
+from ..ccache.threshold import AdaptiveCompressionGate
+from ..compression.base import CompressionResult
+from ..compression.sampler import CompressionSampler
+from ..mem.frames import FramePool
+from ..mem.page import PageId, PageState
+from ..mem.pagetable import PageTableEntry
+from ..mem.segment import AddressSpace
+from ..sim.costs import CostModel
+from ..sim.ledger import Ledger, TimeCategory
+from ..storage.fragstore import FragmentStore
+from ..storage.swap import StandardSwap
+from .faults import FaultSource
+from .system import BaseVM
+
+#: Which backing store holds the page's saved version.
+_STORE_FRAG = "frag"
+_STORE_RAW = "raw"
+
+
+class CompressedVM(BaseVM):
+    """VM system with the compression cache as an intermediate level.
+
+    Args:
+        ccache: the circular-buffer compression cache.
+        sampler: compression measurement (must keep payloads).
+        swap: uncompressed swap for pages failing the 4:3 threshold.
+        fragstore: compressed swap for everything else.
+        gate: adaptive compression disable; pass ``enabled=False`` (the
+            default) to reproduce the measured system.
+        cleaner: background write-out pacing policy.
+        prefetch_colocated: admit other compressed pages transferred by
+            the same block read into the cache.
+        max_prefetch_pages: bound per-fault prefetch admissions.
+        paranoid: verify every decompression round trip (slow).
+    """
+
+    def __init__(
+        self,
+        address_space: AddressSpace,
+        frames: FramePool,
+        allocator: ThreeWayAllocator,
+        ledger: Ledger,
+        costs: CostModel,
+        ccache: CompressionCache,
+        sampler: CompressionSampler,
+        swap: StandardSwap,
+        fragstore: FragmentStore,
+        gate: Optional[AdaptiveCompressionGate] = None,
+        cleaner: Optional[CleanerPolicy] = None,
+        min_resident_frames: int = 2,
+        prefetch_colocated: bool = True,
+        max_prefetch_pages: int = 16,
+        paranoid: bool = False,
+    ):
+        super().__init__(
+            address_space, frames, allocator, ledger, costs,
+            min_resident_frames,
+        )
+        self.ccache = ccache
+        self.sampler = sampler
+        self.swap = swap
+        self.fragstore = fragstore
+        self.gate = gate if gate is not None else AdaptiveCompressionGate(
+            enabled=False
+        )
+        self.cleaner = cleaner if cleaner is not None else CleanerPolicy()
+        self.prefetch_colocated = prefetch_colocated
+        self.max_prefetch_pages = max_prefetch_pages
+        self.paranoid = paranoid
+        self._cleaner_check_pending = False
+        ccache.written_callback = self._note_written_to_store
+
+    # ------------------------------------------------------------------
+    # Fault path
+    # ------------------------------------------------------------------
+
+    def _fill(self, pte: PageTableEntry) -> FaultSource:
+        page_id = pte.page_id
+        page_size = self.address_space.page_size
+        self._cleaner_check_pending = True
+
+        if page_id in self.ccache:
+            # A dirty entry's data moves to the uncompressed page; a clean
+            # entry stays cached — "the compressed copy in memory can be
+            # freed at any time, since there is already a copy on backing
+            # store" — making a later unmodified eviction a free drop.
+            remove = self.ccache.is_dirty(page_id)
+            payload, _ = self.ccache.fetch(
+                page_id, remove=remove, now=self.ledger.now
+            )
+            frame = self._obtain_frame()
+            self._charge_decompress(pte, payload)
+            source = FaultSource.CCACHE
+        elif self._valid_on_fragstore(pte):
+            payload, seconds, colocated = self.fragstore.get(page_id)
+            self.ledger.charge(TimeCategory.IO_READ, seconds)
+            # Per Section 4.1 the page "is first brought into memory and
+            # stored in the compression cache, then it is decompressed".
+            self.ledger.charge(
+                TimeCategory.COPY, self.costs.copy_seconds(len(payload))
+            )
+            self.ccache.insert(
+                page_id,
+                payload,
+                dirty=False,
+                now=self.ledger.now,
+                on_backing_store=True,
+                content_version=pte.content.version,
+            )
+            frame = self._obtain_frame()
+            self._charge_decompress(pte, payload)
+            if self.prefetch_colocated:
+                self._prefetch(colocated)
+            source = FaultSource.FRAGSTORE
+        elif self._valid_on_swap(pte):
+            data, seconds = self.swap.read_page(page_id)
+            self.ledger.charge(TimeCategory.IO_READ, seconds)
+            if self.paranoid and data != pte.content.materialize():
+                raise AssertionError(f"stale swap data for {page_id}")
+            frame = self._obtain_frame()
+            source = FaultSource.SWAP
+        else:
+            frame = self._obtain_frame()
+            self.ledger.charge(
+                TimeCategory.COPY, self.costs.copy_seconds(page_size)
+            )
+            source = FaultSource.ZERO_FILL
+        pte.mark_resident(frame)
+        pte.dirty = False
+        return source
+
+    def _charge_decompress(self, pte: PageTableEntry, payload: bytes) -> None:
+        """Charge decompression of a full page; verify when paranoid."""
+        page_size = self.address_space.page_size
+        self.ledger.charge(
+            TimeCategory.DECOMPRESS, self.costs.decompress_seconds(page_size)
+        )
+        if self.paranoid:
+            result = CompressionResult(payload, page_size)
+            restored = self.sampler.compressor.decompress(result)
+            if restored != pte.content.materialize():
+                raise AssertionError(
+                    f"decompressed data mismatch for {pte.page_id}"
+                )
+
+    def _prefetch(self, colocated) -> None:
+        """Admit compressed pages carried by the same block read."""
+        admitted = 0
+        for page_id in colocated:
+            if admitted >= self.max_prefetch_pages:
+                break
+            if page_id in self.ccache:
+                continue
+            pte = self.address_space.entry(page_id)
+            if pte.state != PageState.BACKING_STORE:
+                continue
+            if pte.swap_handle != _STORE_FRAG:
+                continue
+            if pte.saved_version != pte.content.version:
+                continue
+            payload = self.fragstore.peek(page_id)
+            self.ledger.charge(
+                TimeCategory.COPY, self.costs.copy_seconds(len(payload))
+            )
+            self.ccache.insert(
+                page_id,
+                payload,
+                dirty=False,
+                now=self.ledger.now,
+                on_backing_store=True,
+                content_version=pte.content.version,
+            )
+            pte.mark_nonresident(PageState.COMPRESSED)
+            self.metrics.prefetched_pages += 1
+            admitted += 1
+
+    # ------------------------------------------------------------------
+    # Eviction path
+    # ------------------------------------------------------------------
+
+    def _evict(self, pte: PageTableEntry) -> None:
+        self.metrics.evictions.total += 1
+        page_id = pte.page_id
+        page_size = self.address_space.page_size
+        self._cleaner_check_pending = True
+
+        # Fast drop: the cache still holds this exact version compressed.
+        if (
+            page_id in self.ccache
+            and self.ccache.entry_version(page_id) == pte.content.version
+        ):
+            self._release_resident_frame(pte, PageState.COMPRESSED)
+            # The page was resident (hot) until this instant; it re-enters
+            # the compressed LRU as its youngest member.
+            self.ccache.touch_entry(page_id, self.ledger.now)
+            self.metrics.evictions.ccache_fast_drops += 1
+            return
+        if page_id in self.ccache:
+            self.ccache.drop(page_id)  # stale compressed copy
+
+        # Clean drop: a valid copy already sits on the backing store.
+        if pte.saved_version == pte.content.version and (
+            self._valid_on_fragstore(pte) or self._valid_on_swap(pte)
+        ):
+            self._release_resident_frame(pte, PageState.BACKING_STORE)
+            self.metrics.evictions.clean_drops += 1
+            return
+
+        if self.gate.open:
+            data = pte.content.materialize()
+            self.ledger.charge(
+                TimeCategory.COMPRESS, self.costs.compress_seconds(page_size)
+            )
+            result = self.sampler.compress(
+                data, stable_key=pte.content.stable_key
+            )
+            kept = self.metrics.compression.record(
+                page_size, result.compressed_size
+            )
+            self.gate.record(kept)
+            if kept:
+                # Free the victim's frame *before* inserting so the cache
+                # can grow into it without recursing through the allocator.
+                self._release_resident_frame(pte, PageState.COMPRESSED)
+                self.ccache.insert(
+                    page_id,
+                    result.payload,
+                    dirty=True,
+                    now=self.ledger.now,
+                    content_version=pte.content.version,
+                )
+                self.metrics.evictions.compressed_kept += 1
+                return
+            self.metrics.evictions.uncompressible += 1
+        else:
+            self.gate.note_bypass()
+            self.metrics.evictions.bypassed_gate += 1
+
+        # Raw path: full-page write to the ordinary swap.
+        data = pte.content.materialize()
+        seconds = self.swap.write_page(page_id, data)
+        self.ledger.charge(TimeCategory.IO_WRITE, seconds)
+        pte.note_saved()
+        pte.swap_handle = _STORE_RAW
+        self.fragstore.free(page_id)  # any compressed store copy is stale
+        self.metrics.evictions.raw_writes += 1
+        self._release_resident_frame(pte, PageState.BACKING_STORE)
+
+    def _release_resident_frame(
+        self, pte: PageTableEntry, new_state: PageState
+    ) -> None:
+        if pte.frame is None:
+            raise AssertionError(f"evicting non-resident page {pte.page_id}")
+        self.frames.release(pte.frame)
+        pte.mark_nonresident(new_state)
+
+    # ------------------------------------------------------------------
+    # Background work
+    # ------------------------------------------------------------------
+
+    def _after_access(self) -> None:
+        if not self._cleaner_check_pending:
+            return
+        self._cleaner_check_pending = False
+        goal = self.cleaner.pages_to_clean(
+            free_frames=self.frames.free_frames,
+            reclaimable_frames=self.ccache.reclaimable_frames(),
+            cache_frames=self.ccache.nframes,
+        )
+        if goal > 0:
+            self.metrics.cleaner_invocations += 1
+            self.ccache.clean_pages(goal)
+        gc_seconds = self.fragstore.maybe_collect()
+        if gc_seconds:
+            self.ledger.charge(TimeCategory.GC, gc_seconds)
+
+    # ------------------------------------------------------------------
+    # Store-version bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_written_to_store(self, page_id: PageId, version: int) -> None:
+        pte = self.address_space.entry(page_id)
+        pte.saved_version = version
+        pte.swap_handle = _STORE_FRAG
+        self.swap.invalidate(page_id)
+
+    def _valid_on_fragstore(self, pte: PageTableEntry) -> bool:
+        return (
+            pte.swap_handle == _STORE_FRAG
+            and pte.saved_version == pte.content.version
+            and self.fragstore.contains(pte.page_id)
+        )
+
+    def _valid_on_swap(self, pte: PageTableEntry) -> bool:
+        return (
+            pte.swap_handle == _STORE_RAW
+            and pte.saved_version == pte.content.version
+            and self.swap.contains(pte.page_id)
+        )
+
+    def drain(self) -> None:
+        """Evict all resident pages and flush pending compressed writes."""
+        super().drain()
+        self.ccache.clean_pages(self.ccache.dirty_pages())
+        seconds = self.fragstore.flush()
+        if seconds:
+            self.ledger.charge(TimeCategory.IO_WRITE, seconds)

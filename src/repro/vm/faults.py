@@ -1,0 +1,18 @@
+"""Fault taxonomy shared by the VM implementations."""
+
+from __future__ import annotations
+
+import enum
+
+
+class FaultSource(enum.Enum):
+    """How a page fault was ultimately satisfied."""
+
+    CCACHE = "ccache"          # decompressed from the compression cache
+    FRAGSTORE = "fragstore"    # compressed page fetched from backing store
+    SWAP = "swap"              # raw page fetched from backing store
+    ZERO_FILL = "zero-fill"    # first touch of an anonymous page
+
+
+class VmConfigurationError(Exception):
+    """Raised when a VM system is wired up inconsistently."""

@@ -1,0 +1,21 @@
+"""The paper's benchmark applications, reimplemented as reference streams."""
+
+from .base import Workload
+from .compare import CompareWorkload
+from .gold import GoldWorkload
+from .isca import CacheSimWorkload
+from .multiprogram import MultiProgramWorkload
+from .sortw import SortWorkload
+from .synthetic import SyntheticWorkload
+from .thrasher import Thrasher
+
+__all__ = [
+    "CacheSimWorkload",
+    "CompareWorkload",
+    "GoldWorkload",
+    "MultiProgramWorkload",
+    "SortWorkload",
+    "SyntheticWorkload",
+    "Thrasher",
+    "Workload",
+]

@@ -1,0 +1,105 @@
+"""Workload framework.
+
+A workload owns an address space layout (segments with honest page
+contents) and emits a stream of page-granularity events.  The same
+workload instance can be replayed against both machine configurations
+(standard and compression cache) — references are generated
+deterministically from the workload's parameters.
+
+Application CPU time: the paper's Table 1 measures whole programs, whose
+run times mix computation with paging.  Each workload exposes
+``compute_seconds_per_ref``; the Table 1 harness calibrates it so the
+*standard-system* run time matches the paper's ``Time (std)`` column, and
+the compression-cache time (and hence the speedup) is then an emergent
+result.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional
+
+from ..mem.page import DEFAULT_PAGE_SIZE
+from ..mem.segment import AddressSpace
+from ..sim.engine import PageRef
+
+
+class Workload(ABC):
+    """One application from the paper's evaluation."""
+
+    #: Short identifier used in tables (e.g. "compare", "gold_warm").
+    name: str = "workload"
+
+    #: Extra CPU charged per emitted reference (calibrated; see module doc).
+    compute_seconds_per_ref: float = 0.0
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+        self.page_size = page_size
+        self._space: Optional[AddressSpace] = None
+
+    @property
+    def address_space(self) -> AddressSpace:
+        """The built address space (raises before :meth:`build`)."""
+        if self._space is None:
+            raise RuntimeError(f"workload {self.name!r} was never built")
+        return self._space
+
+    def build(self) -> AddressSpace:
+        """Create the address space and segments; idempotent."""
+        if self._space is None:
+            self._space = AddressSpace(page_size=self.page_size)
+            self._build(self._space)
+        return self._space
+
+    def build_into(self, space: AddressSpace) -> None:
+        """Build this workload's segments inside a shared address space.
+
+        Used by multiprogrammed runs: each program gets its own segments
+        (and therefore distinct page ids) inside one machine-wide space,
+        matching the paper's "collective address space of all running
+        processes".
+        """
+        if self._space is not None:
+            raise RuntimeError(f"workload {self.name!r} was already built")
+        if space.page_size != self.page_size:
+            raise ValueError(
+                f"shared space page size {space.page_size} != "
+                f"workload page size {self.page_size}"
+            )
+        self._space = space
+        self._build(space)
+
+    @abstractmethod
+    def _build(self, space: AddressSpace) -> None:
+        """Create segments in ``space``."""
+
+    @abstractmethod
+    def _references(self) -> Iterator[PageRef]:
+        """The raw reference stream (without calibrated compute time)."""
+
+    def references(self) -> Iterator[PageRef]:
+        """The measured event stream, with calibrated CPU time applied."""
+        self.build()
+        extra = self.compute_seconds_per_ref
+        if extra <= 0.0:
+            yield from self._references()
+            return
+        for ref in self._references():
+            yield PageRef(
+                page_id=ref.page_id,
+                write=ref.write,
+                mutate=ref.mutate,
+                compute_seconds=ref.compute_seconds + extra,
+            )
+
+    def setup_references(self) -> Iterator[PageRef]:
+        """Optional unmeasured warm-up stream (e.g. loading gold's index
+        before running queries).  Default: nothing."""
+        return iter(())
+
+    def reference_count(self) -> int:
+        """Number of events :meth:`references` will emit (for calibration)."""
+        count = 0
+        for _ in self._references():
+            count += 1
+        return count

@@ -1,0 +1,79 @@
+"""Multiprogrammed workloads.
+
+Section 3: "It is possible for the collective address space of all
+running processes not to fit in memory even after compression" — and the
+three-way allocator, the cleaner, and the LRU pools all operate on the
+machine's collective state, not per process.  This module timeshares
+several workloads over one machine, round-robin with a configurable
+quantum, the way a simple scheduler would interleave CPU-bound programs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from ..mem.segment import AddressSpace
+from ..sim.engine import PageRef
+from .base import Workload
+
+
+class MultiProgramWorkload(Workload):
+    """Round-robin interleaving of several programs on one machine.
+
+    Args:
+        programs: the child workloads; each receives its own segments in
+            the shared address space.
+        quantum: references a program issues before yielding the CPU.
+            Small quanta stress the memory system (each switch drags a
+            different working set back); large quanta approach serial
+            execution.
+    """
+
+    name = "multiprogram"
+
+    def __init__(self, programs: Sequence[Workload], quantum: int = 64):
+        if not programs:
+            raise ValueError("need at least one program")
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1: {quantum}")
+        page_sizes = {program.page_size for program in programs}
+        if len(page_sizes) > 1:
+            raise ValueError(f"mixed page sizes: {sorted(page_sizes)}")
+        super().__init__(page_size=programs[0].page_size)
+        self.programs: List[Workload] = list(programs)
+        self.quantum = quantum
+        self.name = "+".join(program.name for program in programs)
+
+    def _build(self, space: AddressSpace) -> None:
+        for program in self.programs:
+            program.build_into(space)
+
+    def _references(self) -> Iterator[PageRef]:
+        streams: List[Optional[Iterator[PageRef]]] = [
+            iter(program._references()) for program in self.programs
+        ]
+        live = len(streams)
+        while live:
+            for index, stream in enumerate(streams):
+                if stream is None:
+                    continue
+                emitted = 0
+                while emitted < self.quantum:
+                    try:
+                        yield next(stream)
+                    except StopIteration:
+                        streams[index] = None
+                        live -= 1
+                        break
+                    emitted += 1
+
+    def setup_references(self) -> Iterator[PageRef]:
+        """Concatenated (not interleaved) child warm-ups."""
+        self.build()
+        for program in self.programs:
+            yield from program.setup_references()
+
+    def total_references(self) -> int:
+        """Sum of the children's estimates."""
+        return sum(program.total_references() for program in self.programs
+                   if hasattr(program, "total_references"))

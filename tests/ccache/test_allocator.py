@@ -1,0 +1,169 @@
+"""Three-way allocator: age comparison, biases, victim selection."""
+
+from typing import Optional
+
+import pytest
+
+from repro.ccache.allocator import (
+    AllocationBiases,
+    ThreeWayAllocator,
+)
+from repro.mem.frames import FrameOwner, FramePool, OutOfFramesError
+
+
+class FakePool:
+    """A MemoryPool stub holding frames it can give back."""
+
+    def __init__(self, frames: FramePool, owner: FrameOwner, age=None):
+        self.frames = frames
+        self.owner = owner
+        self.age = age
+        self.held = []
+        self.shrinks = 0
+        self.refuse = False
+
+    def grab(self, n):
+        for _ in range(n):
+            self.held.append(self.frames.allocate(self.owner))
+
+    def coldest_age(self, now: float) -> Optional[float]:
+        if not self.held:
+            return None
+        return self.age
+
+    def shrink_one(self) -> Optional[float]:
+        if self.refuse or not self.held:
+            return None
+        self.frames.release(self.held.pop())
+        self.shrinks += 1
+        return 0.0
+
+
+def make_world(nframes=4, biases=None):
+    frames = FramePool(nframes)
+    allocator = ThreeWayAllocator(frames, biases=biases)
+    vm = FakePool(frames, FrameOwner.VM, age=10.0)
+    cc = FakePool(frames, FrameOwner.COMPRESSION, age=10.0)
+    fs = FakePool(frames, FrameOwner.FILE_CACHE, age=10.0)
+    allocator.register(FrameOwner.VM, vm)
+    allocator.register(FrameOwner.COMPRESSION, cc)
+    allocator.register(FrameOwner.FILE_CACHE, fs)
+    return frames, allocator, vm, cc, fs
+
+
+class TestFreePath:
+    def test_free_frame_allocated_directly(self):
+        frames, allocator, vm, cc, fs = make_world()
+        frame = allocator.obtain_frame(FrameOwner.VM)
+        assert frames.owner_of(frame) == FrameOwner.VM
+        assert vm.shrinks == cc.shrinks == fs.shrinks == 0
+
+
+class TestVictimSelection:
+    def test_oldest_pool_loses(self):
+        frames, allocator, vm, cc, fs = make_world()
+        vm.grab(2)
+        cc.grab(1)
+        fs.grab(1)
+        vm.age, cc.age, fs.age = 100.0, 5.0, 5.0
+        allocator = ThreeWayAllocator(
+            frames,
+            biases=AllocationBiases(0, 0, 0, 1.0, 1.0, 1.0),
+        )
+        allocator.register(FrameOwner.VM, vm)
+        allocator.register(FrameOwner.COMPRESSION, cc)
+        allocator.register(FrameOwner.FILE_CACHE, fs)
+        allocator.obtain_frame(FrameOwner.COMPRESSION)
+        assert vm.shrinks == 1
+
+    def test_biases_order_default_preference(self):
+        """Equal raw ages: file cache evicted before VM before cache."""
+        frames, allocator, vm, cc, fs = make_world()
+        vm.grab(2)
+        cc.grab(1)
+        fs.grab(1)
+        allocator.obtain_frame(FrameOwner.VM)
+        assert fs.shrinks == 1
+        assert vm.shrinks == 0 and cc.shrinks == 0
+
+    def test_bias_gap_protects_compressed_pages(self):
+        """Compressed pages survive while raw-older by less than the gap.
+
+        Default weights age VM pages several times faster than compressed
+        pages: a compressed page substantially older than the LRU VM page
+        is still retained (the paper's 'favor compressed pages over
+        uncompressed pages')."""
+        frames, allocator, vm, cc, fs = make_world()
+        vm.grab(2)
+        cc.grab(2)
+        vm.age, cc.age = 10.0, 30.0  # cc older, but 30 < 10 * vm_weight
+        allocator.obtain_frame(FrameOwner.VM)
+        assert vm.shrinks == 1 and cc.shrinks == 0
+
+    def test_bias_gap_is_finite(self):
+        """Far-older compressed pages are still reclaimed eventually."""
+        frames, allocator, vm, cc, fs = make_world()
+        vm.grab(2)
+        cc.grab(2)
+        vm.age, cc.age = 10.0, 70.0  # 70 > 10 * vm_weight (6)
+        allocator.obtain_frame(FrameOwner.VM)
+        assert cc.shrinks == 1 and vm.shrinks == 0
+
+    def test_zero_bias_degenerates_to_pure_lru(self):
+        frames = FramePool(4)
+        allocator = ThreeWayAllocator(
+            frames,
+            biases=AllocationBiases(0, 0, 0, 1.0, 1.0, 1.0),
+        )
+        vm = FakePool(frames, FrameOwner.VM, age=1.0)
+        cc = FakePool(frames, FrameOwner.COMPRESSION, age=2.0)
+        allocator.register(FrameOwner.VM, vm)
+        allocator.register(FrameOwner.COMPRESSION, cc)
+        vm.grab(2)
+        cc.grab(2)
+        allocator.obtain_frame(FrameOwner.VM)
+        assert cc.shrinks == 1
+
+    def test_empty_pools_skipped(self):
+        frames, allocator, vm, cc, fs = make_world()
+        vm.grab(4)  # others empty
+        allocator.obtain_frame(FrameOwner.FILE_CACHE)
+        assert vm.shrinks == 1
+
+    def test_victims_counted(self):
+        frames, allocator, vm, cc, fs = make_world()
+        fs.grab(4)
+        allocator.obtain_frame(FrameOwner.VM)
+        assert allocator.counters.snapshot()["fs"] == 1
+
+
+class TestRefusal:
+    def test_refusing_pool_falls_through(self):
+        frames, allocator, vm, cc, fs = make_world()
+        fs.grab(2)
+        vm.grab(2)
+        fs.refuse = True  # would be preferred victim but refuses
+        allocator.obtain_frame(FrameOwner.VM)
+        assert vm.shrinks == 1
+
+    def test_all_refuse_raises(self):
+        frames, allocator, vm, cc, fs = make_world()
+        vm.grab(4)
+        vm.refuse = True
+        with pytest.raises(OutOfFramesError):
+            allocator.obtain_frame(FrameOwner.VM)
+
+    def test_nothing_registered_raises(self):
+        frames = FramePool(1)
+        allocator = ThreeWayAllocator(frames)
+        frames.allocate(FrameOwner.VM)  # exhaust directly
+        with pytest.raises(OutOfFramesError):
+            allocator.obtain_frame(FrameOwner.VM)
+
+
+class TestBiases:
+    def test_for_owner(self):
+        biases = AllocationBiases(30.0, 10.0, 0.0)
+        assert biases.for_owner(FrameOwner.FILE_CACHE) == 30.0
+        assert biases.for_owner(FrameOwner.VM) == 10.0
+        assert biases.for_owner(FrameOwner.COMPRESSION) == 0.0

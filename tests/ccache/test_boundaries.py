@@ -1,0 +1,118 @@
+"""Boundary geometry in the circular buffer."""
+
+import pytest
+
+from repro.ccache.circular import CompressionCache
+from repro.ccache.header import COMPRESSED_PAGE_HEADER_BYTES
+from repro.mem.frames import FramePool
+from repro.mem.page import PageId
+from repro.sim.ledger import Ledger
+from repro.storage.blockfs import BlockFileSystem
+from repro.storage.disk import DiskModel
+from repro.storage.fragstore import FragmentStore
+
+
+def make_cache(nframes=16):
+    frames = FramePool(nframes)
+    cache = CompressionCache(
+        frames,
+        FragmentStore(BlockFileSystem(DiskModel.rz57())),
+        Ledger(),
+    )
+    return cache, frames
+
+
+def pid(n):
+    return PageId(0, n)
+
+
+class TestExactBoundaries:
+    def test_entry_ending_exactly_at_frame_boundary(self):
+        cache, _ = make_cache()
+        size = 4096 - COMPRESSED_PAGE_HEADER_BYTES
+        cache.insert(pid(0), b"x" * size, dirty=True, now=0.0)
+        assert cache.nframes == 1
+        # The next entry begins exactly at the boundary: a new frame.
+        cache.insert(pid(1), b"y" * 10, dirty=True, now=0.0)
+        assert cache.nframes == 2
+        assert cache.fetch(pid(0))[0] == b"x" * size
+        assert cache.fetch(pid(1))[0] == b"y" * 10
+
+    def test_entry_spanning_three_frames(self):
+        cache, _ = make_cache()
+        cache.insert(pid(0), b"a" * 2000, dirty=True, now=0.0)
+        big = 4096 + 3000  # spans the rest of frame 0, all of 1, into 2
+        cache.insert(pid(1), b"b" * big, dirty=True, now=0.0)
+        assert cache.nframes == 3
+        payload, _ = cache.fetch(pid(1))
+        assert payload == b"b" * big
+        # The middle frame empties and is released; frame 0 still holds
+        # p0 and the last frame is the tail (kept mapped for appends).
+        assert cache.nframes == 2
+
+    def test_single_byte_entries_pack_tightly(self):
+        cache, _ = make_cache()
+        per_frame = 4096 // (1 + COMPRESSED_PAGE_HEADER_BYTES)
+        for n in range(per_frame):
+            cache.insert(pid(n), b"z", dirty=True, now=0.0)
+        assert cache.nframes == 1
+
+    def test_interleaved_removal_keeps_frame_refcounts(self):
+        cache, frames = make_cache()
+        # Entries alternating across a boundary; removing one of a
+        # spanning pair must not free the shared frame early.
+        cache.insert(pid(0), b"a" * 3000, dirty=True, now=0.0)
+        cache.insert(pid(1), b"b" * 3000, dirty=True, now=0.0)  # spans 0-1
+        cache.insert(pid(2), b"c" * 3000, dirty=True, now=0.0)  # spans 1-2
+        cache.fetch(pid(1))
+        # Frame 1 still hosts part of p2: must remain mapped.
+        assert cache.nframes >= 2
+        assert cache.fetch(pid(2))[0] == b"c" * 3000
+
+    def test_shrink_with_single_spanning_entry(self):
+        cache, _ = make_cache()
+        cache.insert(pid(0), b"s" * 6000, dirty=True, now=0.0)  # 2 frames
+        cache.insert(pid(1), b"t" * 100, dirty=True, now=1.0)
+        released = cache.shrink_one()
+        assert released is not None
+        # The spanning entry was written out and both its frames are
+        # reclaimable; the payload survives on the backing store.
+        assert cache.fragstore.contains(pid(0))
+
+
+class TestPathologicalPressure:
+    def test_two_frame_machine_makes_progress(self):
+        """The smallest legal machine still completes a thrash."""
+        from repro.mem.page import mbytes
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.machine import Machine, MachineConfig
+        from repro.workloads import Thrasher
+
+        workload = Thrasher(40 * 4096, cycles=2, write=True)
+        machine = Machine(
+            MachineConfig(memory_bytes=mbytes(0.07),
+                          min_resident_frames=2),
+            workload.build(),
+        )
+        result = SimulationEngine(machine).run(workload.references())
+        assert result.metrics_snapshot["accesses"] == 80
+
+    def test_fixed_cache_of_two_frames_rotates(self):
+        cache, _ = make_cache()
+        cache.max_frames = 2
+        for n in range(20):
+            cache.insert(pid(n), bytes([n]) * 900, dirty=True,
+                         now=float(n))
+        assert cache.nframes <= 2
+        # Rotated-out pages reached the backing store.
+        assert cache.fragstore.counters.pages_put > 0
+
+    def test_fixed_cache_of_one_frame_cannot_rotate(self):
+        """A one-frame cache has only its tail frame, which can never be
+        evicted — growth past it must fail loudly, not corrupt."""
+        cache, _ = make_cache()
+        cache.max_frames = 1
+        with pytest.raises(RuntimeError, match="fixed-size"):
+            for n in range(20):
+                cache.insert(pid(n), bytes([n]) * 900, dirty=True,
+                             now=float(n))

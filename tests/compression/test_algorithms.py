@@ -1,0 +1,113 @@
+"""Cross-algorithm behaviour: LZSS, RLE, WK, null."""
+
+import pytest
+
+from repro.compression import Lzss, NullCompressor, Rle, WkCompressor, create
+
+from ..conftest import PAGE, sample_pages
+
+
+class TestLzss:
+    def test_round_trips(self, rng):
+        lzss = Lzss()
+        for label, data in sample_pages(rng).items():
+            assert lzss.decompress(lzss.compress(data)) == data, label
+
+    def test_beats_or_matches_lzrw1(self, rng):
+        """The slower encoder never loses to the fast one on kept pages."""
+        lzss = Lzss()
+        lzrw1 = create("lzrw1")
+        for label, data in sample_pages(rng).items():
+            fast = lzrw1.compress(data).compressed_size
+            slow = lzss.compress(data).compressed_size
+            assert slow <= fast, label
+
+    def test_lazy_matching_helps(self):
+        data = (b"abcde abcd abcdef abc abcdefgh " * 150)[:PAGE]
+        lazy = Lzss(lazy=True).compress(data).compressed_size
+        greedy = Lzss(lazy=False).compress(data).compressed_size
+        assert lazy <= greedy
+
+    def test_chain_depth_improves_ratio(self, rng):
+        data = sample_pages(rng)["text"]
+        shallow = Lzss(chain_depth=1).compress(data).compressed_size
+        deep = Lzss(chain_depth=64).compress(data).compressed_size
+        assert deep <= shallow
+
+    def test_invalid_chain_depth(self):
+        with pytest.raises(ValueError):
+            Lzss(chain_depth=0)
+
+
+class TestRle:
+    def test_round_trips(self, rng):
+        rle = Rle()
+        for label, data in sample_pages(rng).items():
+            assert rle.decompress(rle.compress(data)) == data, label
+
+    def test_runs_compress(self):
+        rle = Rle()
+        assert rle.compress(bytes(PAGE)).ratio < 0.02
+
+    def test_alternating_bytes_stored_raw(self):
+        rle = Rle()
+        data = bytes(i & 1 for i in range(PAGE))
+        result = rle.compress(data)
+        assert result.stored_raw
+        assert rle.decompress(result) == data
+
+    def test_max_run_boundary(self):
+        rle = Rle()
+        for n in (2, 3, 129, 130, 131, 260, 261):
+            data = b"z" * n
+            assert rle.decompress(rle.compress(data)) == data
+
+    def test_long_literal_blocks(self):
+        rle = Rle()
+        data = bytes(range(256)) * 3  # literals > 128 bytes, no runs
+        assert rle.decompress(rle.compress(data)) == data
+
+
+class TestWk:
+    def test_round_trips(self, rng):
+        wk = WkCompressor()
+        for label, data in sample_pages(rng).items():
+            assert wk.decompress(wk.compress(data)) == data, label
+
+    def test_zero_words_dominate(self):
+        wk = WkCompressor()
+        assert wk.compress(bytes(PAGE)).ratio < 0.1
+
+    def test_pointer_like_data(self):
+        # Words sharing high 22 bits: the partial-match case WK targets.
+        import struct
+
+        base = 0x7FFF1000
+        words = [base | (i % 7) for i in range(PAGE // 4)]
+        data = struct.pack(f"<{len(words)}I", *words)
+        wk = WkCompressor()
+        result = wk.compress(data)
+        # Partial matches cost 2+4+10 = 16 bits per 32-bit word: ~0.5.
+        assert result.ratio < 0.55
+        assert wk.decompress(result) == data
+
+    def test_unaligned_tail(self):
+        wk = WkCompressor()
+        for extra in (1, 2, 3):
+            data = bytes(PAGE) + b"xyz"[:extra]
+            assert wk.decompress(wk.compress(data)) == data
+
+    def test_tiny_input_stored_raw(self):
+        wk = WkCompressor()
+        result = wk.compress(b"ab")
+        assert result.stored_raw
+
+
+class TestNull:
+    def test_identity(self, rng):
+        null = NullCompressor()
+        for data in sample_pages(rng).values():
+            result = null.compress(data)
+            assert result.stored_raw
+            assert result.compressed_size == len(data)
+            assert null.decompress(result) == data

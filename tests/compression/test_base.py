@@ -1,0 +1,70 @@
+"""Compressor framework: registry, results, verification."""
+
+import pytest
+
+from repro.compression import (
+    CompressionResult,
+    Compressor,
+    CorruptDataError,
+    UnknownCompressorError,
+    available,
+    create,
+    iter_compressors,
+    register,
+)
+
+
+class TestRegistry:
+    def test_expected_algorithms_registered(self):
+        assert set(available()) >= {"lzrw1", "lzss", "rle", "wk", "null"}
+
+    def test_create_by_name(self):
+        assert create("lzrw1").name == "lzrw1"
+
+    def test_create_with_kwargs(self):
+        compressor = create("lzrw1", table_bits=10)
+        assert compressor.hash_table_bytes == 4 * 1024
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownCompressorError) as excinfo:
+            create("zstd")
+        assert "lzrw1" in str(excinfo.value)  # lists known names
+
+    def test_iter_compressors_yields_all(self):
+        names = [c.name for c in iter_compressors()]
+        assert names == sorted(names)
+        assert "lzrw1" in names
+
+    def test_register_rejects_non_compressor(self):
+        with pytest.raises(TypeError):
+            register("bogus")(dict)
+
+
+class TestCompressionResult:
+    def test_ratio(self):
+        result = CompressionResult(b"abcd", 16)
+        assert result.ratio == 0.25
+        assert result.compressed_size == 4
+        assert result.savings() == 12
+
+    def test_ratio_of_empty_input(self):
+        assert CompressionResult(b"", 0).ratio == 1.0
+
+    def test_negative_savings_on_expansion(self):
+        result = CompressionResult(b"abcdef", 4)
+        assert result.savings() == -2
+
+
+class TestVerification:
+    def test_compress_verified_catches_broken_algorithm(self):
+        class Broken(Compressor):
+            name = "broken"
+
+            def compress(self, data):
+                return CompressionResult(data[:-1] if data else b"", len(data))
+
+            def decompress(self, result):
+                return result.payload
+
+        with pytest.raises(CorruptDataError):
+            Broken().compress_verified(b"hello world")

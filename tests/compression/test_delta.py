@@ -1,0 +1,125 @@
+"""The application-specific varint-delta posting-list codec."""
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import CompressionResult, create
+from repro.compression.base import CorruptDataError
+from repro.compression.delta import VarintDeltaCompressor
+
+
+@pytest.fixture
+def codec():
+    return VarintDeltaCompressor()
+
+
+def posting_page(seed=0, start=1000, max_gap=64, nwords=1024):
+    rng = random.Random(seed)
+    value = start
+    words = []
+    for _ in range(nwords):
+        value += rng.randrange(1, max_gap)
+        words.append(value)
+    return struct.pack(f"<{nwords}I", *words)
+
+
+class TestRoundTrip:
+    def test_posting_arrays(self, codec):
+        data = posting_page()
+        result = codec.compress(data)
+        assert codec.decompress(result) == data
+
+    def test_mixed_ascending_and_raw(self, codec, rng):
+        words = []
+        value = 10
+        for index in range(512):
+            if index % 16 < 10:
+                value += rng.randrange(1, 9)
+                words.append(value)
+            else:
+                words.append(rng.randrange(1 << 32))
+        data = struct.pack("<512I", *words)
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_unaligned_tail(self, codec):
+        data = posting_page(nwords=64) + b"xyz"
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_tiny_input_stored_raw(self, codec):
+        result = codec.compress(b"ab")
+        assert result.stored_raw
+
+    def test_equal_values_are_ascending(self, codec):
+        data = struct.pack("<256I", *([7] * 256))
+        result = codec.compress(data)
+        assert not result.stored_raw
+        assert result.ratio < 0.3  # each zero gap costs one byte per word
+        assert codec.decompress(result) == data
+
+    def test_registered(self):
+        assert create("varint-delta").name == "varint-delta"
+
+
+class TestQuality:
+    def test_beats_lzrw1_on_postings(self, codec):
+        """The whole point of application-specific compression."""
+        lzrw1 = create("lzrw1")
+        data = posting_page()
+        assert codec.compress(data).ratio < lzrw1.compress(data).ratio / 1.5
+
+    def test_small_gaps_compress_harder(self, codec):
+        tight = posting_page(max_gap=4)
+        loose = posting_page(max_gap=100000)
+        assert codec.compress(tight).ratio < codec.compress(loose).ratio
+
+    def test_random_data_stored_raw(self, codec, rng):
+        data = bytes(rng.randrange(256) for _ in range(4096))
+        assert codec.compress(data).stored_raw
+
+
+class TestCorruption:
+    def test_bad_tag(self, codec):
+        with pytest.raises(CorruptDataError):
+            codec.decompress(CompressionResult(b"\xff\x01", 16))
+
+    def test_truncated_raw_run(self, codec):
+        payload = bytes([0x00, 0x04]) + b"\x01\x02"
+        with pytest.raises(CorruptDataError):
+            codec.decompress(CompressionResult(payload, 16))
+
+    def test_truncated_varint(self, codec):
+        with pytest.raises(CorruptDataError):
+            codec.decompress(CompressionResult(b"\x01\x80", 16))
+
+    def test_wrong_length_detected(self, codec):
+        data = posting_page(nwords=64)
+        result = codec.compress(data)
+        lying = CompressionResult(result.payload, 999999)
+        with pytest.raises(CorruptDataError):
+            codec.decompress(lying)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(min_size=0, max_size=2048))
+def test_round_trips_arbitrary_bytes(data):
+    codec = VarintDeltaCompressor()
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    gaps=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=500),
+    start=st.integers(0, 1 << 30),
+)
+def test_round_trips_ascending_words(gaps, start):
+    codec = VarintDeltaCompressor()
+    words = []
+    value = start
+    for gap in gaps:
+        value = min(value + gap, (1 << 32) - 1)
+        words.append(value)
+    data = struct.pack(f"<{len(words)}I", *words)
+    assert codec.decompress(codec.compress(data)) == data

@@ -1,0 +1,76 @@
+"""Known-answer tests: the stored formats are stable.
+
+Compressed payloads may be written to trace files or compared across
+runs; these tests pin the exact bytes each encoder produces for fixed
+inputs so accidental format changes are caught (a change here is a
+breaking change, not a refactor).
+"""
+
+from repro.compression import create
+
+
+class TestLzrw1Format:
+    def test_simple_repeat(self):
+        result = create("lzrw1").compress(b"abcabcabcabc")
+        # 3 literals 'a' 'b' 'c', then one 9-byte self-overlapping copy
+        # at offset 3 (control word 0x0008 marks item 3 as the copy).
+        assert not result.stored_raw
+        assert result.payload == bytes(
+            [0x08, 0x00,            # control: item 3 is a copy
+             97, 98, 99,            # literals a b c
+             0x60, 0x03]            # copy len 9 ((6)+3), offset 3
+        )
+
+    def test_run_of_zeros(self):
+        result = create("lzrw1").compress(bytes(64))
+        assert not result.stored_raw
+        # literal 0, then chained max-length overlapping copies.
+        assert result.payload == bytes(
+            [0x1E, 0x00,            # control: items 1-4 are copies
+             0,                     # literal zero byte
+             0xF0, 0x01,            # copy len 18, offset 1
+             0xF0, 0x12,            # copy len 18, offset 18
+             0xF0, 0x12,            # copy len 18, offset 18
+             0x60, 0x12]            # copy len 9, offset 18
+        )
+
+    def test_decode_of_pinned_payload(self):
+        from repro.compression import CompressionResult
+
+        payload = bytes([0x08, 0x00, 97, 98, 99, 0x60, 0x03])
+        restored = create("lzrw1").decompress(
+            CompressionResult(payload, 12)
+        )
+        assert restored == b"abcabcabcabc"
+
+
+class TestRleFormat:
+    def test_run_encoding(self):
+        result = create("rle").compress(b"aaaaa" + b"xy")
+        # run header 0x7D + 5 = 0x82, byte 'a', literal block of 2.
+        assert result.payload == bytes([0x82, 97, 0x01, 120, 121])
+
+
+class TestVarintDeltaFormat:
+    def test_ascending_run(self):
+        import struct
+
+        data = struct.pack("<6I", 10, 11, 13, 16, 20, 25)
+        result = create("varint-delta").compress(data)
+        assert result.payload == bytes(
+            [0x01, 6, 10, 1, 2, 3, 4, 5]
+        )
+
+
+class TestWkFormat:
+    def test_zero_page_header(self):
+        import struct
+
+        result = create("wk").compress(bytes(64))
+        nwords, tag_len, index_len, low_len = struct.unpack(
+            "<IHHH", result.payload[:10]
+        )
+        assert nwords == 16
+        assert tag_len == 4      # 16 two-bit tags
+        assert index_len == 0
+        assert low_len == 0

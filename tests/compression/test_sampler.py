@@ -1,0 +1,96 @@
+"""Compression sampler: memoization correctness and modes."""
+
+import pytest
+
+from repro.compression import CompressionSampler, create
+
+from ..conftest import sample_pages
+
+
+@pytest.fixture
+def sampler():
+    return CompressionSampler(create("lzrw1"))
+
+
+class TestMemoization:
+    def test_agrees_with_exact(self, rng):
+        exact = CompressionSampler(create("lzrw1"), exact=True)
+        memo = CompressionSampler(create("lzrw1"))
+        for data in sample_pages(rng).values():
+            assert memo.compressed_size(data) == exact.compressed_size(data)
+            assert memo.compressed_size(data) == exact.compressed_size(data)
+
+    def test_hits_counted(self, sampler, rng):
+        data = sample_pages(rng)["text"]
+        sampler.compressed_size(data)
+        sampler.compressed_size(data)
+        assert sampler.hits == 1
+        assert sampler.misses == 1
+        assert 0.0 < sampler.hit_rate <= 0.5
+
+    def test_exact_mode_never_caches(self, rng):
+        exact = CompressionSampler(create("lzrw1"), exact=True)
+        data = sample_pages(rng)["text"]
+        exact.compressed_size(data)
+        exact.compressed_size(data)
+        assert exact.hits == 0
+        assert exact.misses == 2
+
+    def test_capacity_bound(self):
+        sampler = CompressionSampler(create("null"), max_entries=4)
+        for i in range(10):
+            sampler.compressed_size(bytes([i]) * 64)
+        assert len(sampler._size_cache) <= 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CompressionSampler(create("null"), max_entries=0)
+
+    def test_clear(self, sampler, rng):
+        sampler.compressed_size(sample_pages(rng)["text"])
+        sampler.clear()
+        assert sampler.hits == 0 and sampler.misses == 0
+        assert len(sampler._size_cache) == 0
+
+
+class TestStableKeys:
+    def test_stable_key_shares_measurement(self, sampler, rng):
+        pages = sample_pages(rng)
+        size1 = sampler.compressed_size(pages["text"], stable_key="page-1")
+        # A different buffer under the same key reuses the measurement.
+        size2 = sampler.compressed_size(pages["tiled"], stable_key="page-1")
+        assert size1 == size2
+        assert sampler.hits == 1
+
+    def test_stable_key_ignored_in_exact_mode(self, rng):
+        exact = CompressionSampler(create("lzrw1"), exact=True)
+        pages = sample_pages(rng)
+        size1 = exact.compressed_size(pages["text"], stable_key="k")
+        size2 = exact.compressed_size(pages["random"], stable_key="k")
+        assert size1 != size2
+
+    def test_stable_key_approximation_is_tight_for_small_writes(self, rng):
+        """One-word updates move LZRW1 sizes by well under the 4:3 slack."""
+        import struct
+
+        exact = CompressionSampler(create("lzrw1"), exact=True)
+        base = bytearray(sample_pages(rng)["tiled"])
+        size0 = exact.compressed_size(bytes(base))
+        struct.pack_into("<I", base, 0, 0xDEADBEEF)
+        size1 = exact.compressed_size(bytes(base))
+        assert abs(size1 - size0) < 64
+
+
+class TestPayloads:
+    def test_keep_payloads_round_trips(self, rng):
+        sampler = CompressionSampler(create("lzrw1"), keep_payloads=True)
+        data = sample_pages(rng)["text"]
+        result = sampler.compress(data)
+        assert sampler.compressor.decompress(result) == data
+
+    def test_payload_cache_hit(self, rng):
+        sampler = CompressionSampler(create("lzrw1"), keep_payloads=True)
+        data = sample_pages(rng)["text"]
+        first = sampler.compress(data)
+        second = sampler.compress(data)
+        assert first is second

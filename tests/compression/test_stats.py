@@ -1,0 +1,70 @@
+"""The 4:3 threshold and Table 1 accounting."""
+
+import pytest
+
+from repro.compression import CompressionStats, CompressionThreshold
+
+
+class TestThreshold:
+    def test_paper_default_is_4_to_3(self):
+        threshold = CompressionThreshold()
+        assert threshold.factor == pytest.approx(4.0 / 3.0)
+        assert threshold.max_fraction == pytest.approx(0.75)
+
+    def test_boundary(self):
+        threshold = CompressionThreshold()
+        assert threshold.keep_compressed(4096, 3072)       # exactly 4:3
+        assert not threshold.keep_compressed(4096, 3073)   # just over
+
+    def test_strong_compression_kept(self):
+        assert CompressionThreshold().keep_compressed(4096, 1024)
+
+    def test_no_compression_rejected(self):
+        assert not CompressionThreshold().keep_compressed(4096, 4096)
+
+    def test_zero_size_page(self):
+        assert not CompressionThreshold().keep_compressed(0, 0)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            CompressionThreshold(0.5)
+
+
+class TestStats:
+    def test_table1_columns(self):
+        stats = CompressionStats()
+        assert stats.record(4096, 1024)   # kept, 25%
+        assert stats.record(4096, 2048)   # kept, 50%
+        assert not stats.record(4096, 4000)  # uncompressible
+        assert stats.pages_compressed == 2
+        assert stats.pages_uncompressible == 1
+        assert stats.mean_ratio_percent == pytest.approx(37.5)
+        assert stats.uncompressible_percent == pytest.approx(100.0 / 3.0)
+
+    def test_overall_factor(self):
+        stats = CompressionStats()
+        stats.record(4096, 1024)
+        assert stats.overall_factor == pytest.approx(4.0)
+
+    def test_empty_stats(self):
+        stats = CompressionStats()
+        assert stats.total_pages == 0
+        assert stats.mean_ratio_percent == 100.0
+        assert stats.uncompressible_percent == 0.0
+        assert stats.overall_factor == 1.0
+
+    def test_merge(self):
+        a = CompressionStats()
+        b = CompressionStats()
+        a.record(4096, 1024)
+        b.record(4096, 4096)
+        a.merge(b)
+        assert a.total_pages == 2
+        assert a.pages_uncompressible == 1
+
+    def test_summary_readable(self):
+        stats = CompressionStats()
+        stats.record(4096, 1024)
+        text = stats.summary()
+        assert "1 pages" in text
+        assert "25%" in text

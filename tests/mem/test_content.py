@@ -1,0 +1,110 @@
+"""PageContent: overlay writes, versioning, materialization."""
+
+import pytest
+
+from repro.mem.content import PageContent, zero_page
+
+from ..conftest import PAGE
+
+
+class TestConstruction:
+    def test_defaults_to_zero_page(self):
+        content = PageContent()
+        assert content.materialize() == bytes(PAGE)
+        assert content.version == 0
+
+    def test_custom_data(self):
+        data = bytes(range(256)) * 16
+        content = PageContent(data)
+        assert content.materialize() == data
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            PageContent(b"short")
+
+    def test_zero_page_shared(self):
+        assert zero_page() is zero_page()
+        assert len(zero_page(1024)) == 1024
+
+
+class TestWordOps:
+    def test_store_and_load(self):
+        content = PageContent()
+        content.store_word(8, 0xDEADBEEF)
+        assert content.load_word(8) == 0xDEADBEEF
+        assert content.version == 1
+
+    def test_store_visible_in_materialize(self):
+        content = PageContent()
+        content.store_word(0, 0x01020304)
+        data = content.materialize()
+        assert data[:4] == bytes([4, 3, 2, 1])  # little-endian
+
+    def test_load_from_base(self):
+        data = bytearray(PAGE)
+        data[0:4] = (42).to_bytes(4, "little")
+        content = PageContent(bytes(data))
+        assert content.load_word(0) == 42
+
+    def test_version_bumps_per_store(self):
+        content = PageContent()
+        for i in range(5):
+            content.store_word(4 * i, i)
+        assert content.version == 5
+
+    def test_unaligned_rejected(self):
+        content = PageContent()
+        with pytest.raises(ValueError):
+            content.store_word(3, 1)
+        with pytest.raises(ValueError):
+            content.load_word(2)
+
+    def test_out_of_range_rejected(self):
+        content = PageContent()
+        with pytest.raises(ValueError):
+            content.store_word(PAGE, 1)
+        with pytest.raises(ValueError):
+            content.store_word(-4, 1)
+
+    def test_value_masked_to_32_bits(self):
+        content = PageContent()
+        content.store_word(0, 0x1_0000_0002)
+        assert content.load_word(0) == 2
+
+
+class TestReplace:
+    def test_replace_bumps_version(self):
+        content = PageContent()
+        content.replace(b"\x07" * PAGE)
+        assert content.version == 1
+        assert content.materialize() == b"\x07" * PAGE
+
+    def test_replace_clears_overlay(self):
+        content = PageContent()
+        content.store_word(0, 99)
+        content.replace(bytes(PAGE))
+        assert content.load_word(0) == 0
+
+    def test_replace_wrong_size(self):
+        with pytest.raises(ValueError):
+            PageContent().replace(b"nope")
+
+
+class TestMaterializeCaching:
+    def test_repeated_materialize_is_stable(self):
+        content = PageContent()
+        content.store_word(12, 7)
+        first = content.materialize()
+        second = content.materialize()
+        assert first is second
+
+    def test_overlay_folds_once(self):
+        content = PageContent()
+        content.store_word(0, 1)
+        content.materialize()
+        content.store_word(4, 2)
+        data = content.materialize()
+        assert data[0] == 1 and data[4] == 2
+
+    def test_len(self):
+        assert len(PageContent()) == PAGE

@@ -1,0 +1,72 @@
+"""FramePool ownership accounting."""
+
+import pytest
+
+from repro.mem.frames import FrameOwner, FramePool, OutOfFramesError
+
+
+class TestAllocation:
+    def test_allocate_release_cycle(self):
+        pool = FramePool(4)
+        frame = pool.allocate(FrameOwner.VM)
+        assert pool.owner_of(frame) == FrameOwner.VM
+        assert pool.free_frames == 3
+        pool.release(frame)
+        assert pool.free_frames == 4
+
+    def test_exhaustion_raises(self):
+        pool = FramePool(2)
+        pool.allocate(FrameOwner.VM)
+        pool.allocate(FrameOwner.COMPRESSION)
+        with pytest.raises(OutOfFramesError):
+            pool.allocate(FrameOwner.VM)
+
+    def test_frames_are_unique(self):
+        pool = FramePool(16)
+        frames = {pool.allocate(FrameOwner.VM) for _ in range(16)}
+        assert len(frames) == 16
+
+    def test_double_release_rejected(self):
+        pool = FramePool(2)
+        frame = pool.allocate(FrameOwner.VM)
+        pool.release(frame)
+        with pytest.raises(ValueError):
+            pool.release(frame)
+
+    def test_owner_of_unallocated_rejected(self):
+        pool = FramePool(2)
+        with pytest.raises(ValueError):
+            pool.owner_of(0)
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(ValueError):
+            FramePool(0)
+
+
+class TestAccounting:
+    def test_split_tracks_owners(self):
+        pool = FramePool(6)
+        pool.allocate(FrameOwner.VM)
+        pool.allocate(FrameOwner.VM)
+        pool.allocate(FrameOwner.COMPRESSION)
+        split = pool.split()
+        assert split == {"vm": 2, "cc": 1, "fs": 0, "free": 3}
+
+    def test_owned_by(self):
+        pool = FramePool(3)
+        pool.allocate(FrameOwner.FILE_CACHE)
+        assert pool.owned_by(FrameOwner.FILE_CACHE) == 1
+        assert pool.owned_by(FrameOwner.VM) == 0
+
+    def test_release_updates_counts(self):
+        pool = FramePool(3)
+        frame = pool.allocate(FrameOwner.COMPRESSION)
+        pool.release(frame)
+        assert pool.owned_by(FrameOwner.COMPRESSION) == 0
+
+    def test_allocated_set(self):
+        pool = FramePool(3)
+        a = pool.allocate(FrameOwner.VM)
+        b = pool.allocate(FrameOwner.VM)
+        assert pool.allocated_set() == {a, b}
+        assert pool.allocated_frames == 2

@@ -1,0 +1,75 @@
+"""LRU list with age stamps."""
+
+import pytest
+
+from repro.mem.lru import LruList
+
+
+class TestOrdering:
+    def test_eviction_order_is_lru(self):
+        lru = LruList()
+        lru.touch("a", 1.0)
+        lru.touch("b", 2.0)
+        lru.touch("c", 3.0)
+        assert lru.evict() == "a"
+        assert lru.evict() == "b"
+
+    def test_touch_moves_to_hot_end(self):
+        lru = LruList()
+        lru.touch("a", 1.0)
+        lru.touch("b", 2.0)
+        lru.touch("a", 3.0)
+        assert lru.evict() == "b"
+
+    def test_iteration_cold_to_hot(self):
+        lru = LruList()
+        for i, key in enumerate("xyz"):
+            lru.touch(key, float(i))
+        assert list(lru) == ["x", "y", "z"]
+
+
+class TestAges:
+    def test_coldest_age(self):
+        lru = LruList()
+        lru.touch("a", 10.0)
+        lru.touch("b", 30.0)
+        assert lru.coldest() == ("a", 10.0)
+        assert lru.coldest_age(40.0) == pytest.approx(30.0)
+
+    def test_empty_ages_are_none(self):
+        lru = LruList()
+        assert lru.coldest() is None
+        assert lru.coldest_age(5.0) is None
+
+    def test_last_touch(self):
+        lru = LruList()
+        lru.touch("a", 7.5)
+        assert lru.last_touch("a") == 7.5
+
+
+class TestMembership:
+    def test_contains_and_len(self):
+        lru = LruList()
+        lru.touch("a", 0.0)
+        assert "a" in lru
+        assert "b" not in lru
+        assert len(lru) == 1
+
+    def test_remove(self):
+        lru = LruList()
+        lru.touch("a", 0.0)
+        lru.remove("a")
+        assert "a" not in lru
+        with pytest.raises(KeyError):
+            lru.remove("a")
+
+    def test_discard_is_idempotent(self):
+        lru = LruList()
+        lru.touch("a", 0.0)
+        lru.discard("a")
+        lru.discard("a")
+        assert len(lru) == 0
+
+    def test_evict_empty_raises(self):
+        with pytest.raises(KeyError):
+            LruList().evict()

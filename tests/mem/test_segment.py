@@ -1,0 +1,141 @@
+"""Segments, address spaces, page tables."""
+
+import pytest
+
+from repro.mem.page import PageId, PageState, mbytes, pages_for_bytes
+from repro.mem.pagetable import (
+    CC_PTE_BYTES,
+    STD_PTE_BYTES,
+    PageTableEntry,
+    page_table_overhead_bytes,
+)
+from repro.mem.segment import AddressSpace
+
+from ..conftest import PAGE
+
+
+class TestPageHelpers:
+    def test_pages_for_bytes(self):
+        assert pages_for_bytes(0) == 0
+        assert pages_for_bytes(1) == 1
+        assert pages_for_bytes(PAGE) == 1
+        assert pages_for_bytes(PAGE + 1) == 2
+
+    def test_pages_for_bytes_negative(self):
+        with pytest.raises(ValueError):
+            pages_for_bytes(-1)
+
+    def test_mbytes(self):
+        assert mbytes(1) == 1024 * 1024
+        assert mbytes(0.5) == 512 * 1024
+
+
+class TestSegments:
+    def test_lazy_entries(self):
+        space = AddressSpace()
+        segment = space.add_segment("heap", 100)
+        assert segment.touched_pages == 0
+        segment.entry(5)
+        assert segment.touched_pages == 1
+
+    def test_entry_is_stable(self):
+        space = AddressSpace()
+        segment = space.add_segment("heap", 10)
+        assert segment.entry(3) is segment.entry(3)
+
+    def test_content_factory(self):
+        space = AddressSpace()
+        segment = space.add_segment(
+            "data", 4, content_factory=lambda n: bytes([n]) * PAGE
+        )
+        assert segment.entry(2).content.materialize() == bytes([2]) * PAGE
+
+    def test_bad_factory_length_rejected(self):
+        space = AddressSpace()
+        segment = space.add_segment("bad", 4, content_factory=lambda n: b"x")
+        with pytest.raises(ValueError):
+            segment.entry(0)
+
+    def test_out_of_range_page(self):
+        space = AddressSpace()
+        segment = space.add_segment("heap", 4)
+        with pytest.raises(IndexError):
+            segment.entry(4)
+        with pytest.raises(IndexError):
+            segment.page_id(-1)
+
+    def test_zero_pages_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.add_segment("empty", 0)
+
+
+class TestAddressSpace:
+    def test_segment_ids_unique(self):
+        space = AddressSpace()
+        a = space.add_segment("a", 1)
+        b = space.add_segment("b", 1)
+        assert a.segment_id != b.segment_id
+
+    def test_entry_by_page_id(self):
+        space = AddressSpace()
+        segment = space.add_segment("heap", 8)
+        pte = space.entry(PageId(segment.segment_id, 3))
+        assert pte.page_id == PageId(segment.segment_id, 3)
+
+    def test_unknown_segment(self):
+        space = AddressSpace()
+        with pytest.raises(KeyError):
+            space.segment(42)
+
+    def test_totals(self):
+        space = AddressSpace()
+        space.add_segment("a", 10)
+        space.add_segment("b", 20)
+        assert space.total_pages == 30
+        assert space.touched_pages == 0
+
+
+class TestPageTableEntry:
+    def test_state_transitions(self):
+        space = AddressSpace()
+        pte = space.add_segment("heap", 1).entry(0)
+        assert pte.state == PageState.UNTOUCHED
+        pte.mark_resident(7)
+        assert pte.state == PageState.RESIDENT and pte.frame == 7
+        pte.mark_nonresident(PageState.COMPRESSED)
+        assert pte.state == PageState.COMPRESSED and pte.frame is None
+
+    def test_mark_nonresident_rejects_resident(self):
+        space = AddressSpace()
+        pte = space.add_segment("heap", 1).entry(0)
+        with pytest.raises(ValueError):
+            pte.mark_nonresident(PageState.RESIDENT)
+
+    def test_unsaved_changes(self):
+        space = AddressSpace()
+        pte = space.add_segment("heap", 1).entry(0)
+        assert pte.has_unsaved_changes  # never saved
+        pte.note_saved()
+        assert not pte.has_unsaved_changes
+        pte.content.store_word(0, 1)
+        assert pte.has_unsaved_changes
+
+
+class TestOverheadModel:
+    def test_paper_example(self):
+        """Section 4.4: 60 MBytes / 4-KByte pages -> 120 KBytes extra."""
+        total_pages = mbytes(60) // PAGE
+        extra = (
+            page_table_overhead_bytes(total_pages, compression_cache=True)
+            - page_table_overhead_bytes(total_pages, compression_cache=False)
+        )
+        assert extra == 120 * 1024
+
+    def test_per_page_constants(self):
+        assert STD_PTE_BYTES == 4
+        assert CC_PTE_BYTES == 12
+
+    def test_negative_pages_rejected(self):
+        with pytest.raises(ValueError):
+            page_table_overhead_bytes(-1, True)

@@ -1,0 +1,117 @@
+"""Figure 1 analytic models: shape checks from the paper's description."""
+
+import pytest
+
+from repro.model.analytic import (
+    figure_1a,
+    figure_1b,
+    in_memory_speedup,
+    read_bandwidth_speedup,
+    transfer_bandwidth_speedup,
+    write_bandwidth_speedup,
+)
+
+
+class TestBandwidthSpeedup:
+    def test_win_iff_compression_fast_and_effective(self):
+        # Fast compression, 4:1 ratio: clear win.
+        assert write_bandwidth_speedup(0.25, 8.0) > 2.0
+        # Slow compression, poor ratio: slowdown.
+        assert write_bandwidth_speedup(0.9, 0.5) < 1.0
+
+    def test_break_even_boundary(self):
+        """Speedup > 1 exactly when 1/c + r < 1."""
+        assert write_bandwidth_speedup(0.5, 2.0) == pytest.approx(1.0)
+        assert write_bandwidth_speedup(0.49, 2.0) > 1.0
+        assert write_bandwidth_speedup(0.51, 2.0) < 1.0
+
+    def test_reads_benefit_from_faster_decompression(self):
+        assert (
+            read_bandwidth_speedup(0.5, 2.0)
+            > write_bandwidth_speedup(0.5, 2.0)
+        )
+
+    def test_monotone_in_both_axes(self):
+        for fn in (write_bandwidth_speedup, read_bandwidth_speedup,
+                   transfer_bandwidth_speedup):
+            assert fn(0.2, 4.0) > fn(0.4, 4.0)   # better ratio wins
+            assert fn(0.4, 8.0) > fn(0.4, 2.0)   # faster compression wins
+
+    def test_infinitely_fast_compression_limit(self):
+        # As c grows the speedup approaches 1/r.
+        assert write_bandwidth_speedup(0.25, 1e9) == pytest.approx(
+            4.0, rel=1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            write_bandwidth_speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            write_bandwidth_speedup(1.5, 1.0)
+        with pytest.raises(ValueError):
+            write_bandwidth_speedup(0.5, 0.0)
+
+
+class TestInMemorySpeedup:
+    def test_sharp_leap_when_working_set_fits(self):
+        """Figure 1(b)'s discontinuity: once the compressed set fits, all
+        I/O disappears, and with fast compression the speedup jumps."""
+        c = 16.0
+        fits = in_memory_speedup(0.5, c, 1000, 2000)
+        overflows = in_memory_speedup(0.65, c, 1000, 2000)
+        assert fits > 2.0 * overflows
+        # The jump dwarfs the smooth change within the fitting region.
+        within = in_memory_speedup(0.35, c, 1000, 2000) / fits
+        assert within < 1.1
+
+    def test_linear_in_speed_when_fitting(self):
+        """'The speedup due to compression is linear in the speed of
+        compression' when pages compress 2:1 or better."""
+        s2 = in_memory_speedup(0.4, 2.0, 1000, 2000)
+        s4 = in_memory_speedup(0.4, 4.0, 1000, 2000)
+        s8 = in_memory_speedup(0.4, 8.0, 1000, 2000)
+        assert s4 == pytest.approx(2 * s2, rel=1e-6)
+        assert s8 == pytest.approx(2 * s4, rel=1e-6)
+
+    def test_slowdown_with_slow_compression_poor_ratio(self):
+        """The darker right-hand region of Figure 1(b)."""
+        assert in_memory_speedup(0.9, 0.5, 1000, 2000) < 1.0
+
+    def test_no_paging_no_change(self):
+        assert in_memory_speedup(0.5, 4.0, 2000, 1000) == 1.0
+
+    def test_beats_pure_bandwidth_when_fitting(self):
+        """The compression cache's edge over compress-to-disk: with the
+        set fitting compressed, no I/O remains at all."""
+        in_memory = in_memory_speedup(0.4, 4.0, 1000, 2000)
+        to_disk = transfer_bandwidth_speedup(0.4, 4.0)
+        assert in_memory > to_disk
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            in_memory_speedup(0.5, 4.0, 0, 100)
+
+
+class TestSurfaces:
+    def test_figure_1a_surface_shape(self):
+        surface = figure_1a()
+        assert len(surface.values) == len(surface.speeds)
+        assert all(len(row) == len(surface.ratios)
+                   for row in surface.values)
+        # Top-left (fast compression, strong ratio) is the best corner.
+        best = surface.values[-1][0]
+        worst = surface.values[0][-1]
+        assert best > 4.0
+        assert worst < 1.0
+
+    def test_figure_1b_has_leap(self):
+        surface = figure_1b()
+        row = surface.values[-1]  # fastest compression
+        jumps = [
+            row[i] / row[i + 1] for i in range(len(row) - 1)
+        ]
+        assert max(jumps) > 1.5  # a visible discontinuity along ratio
+
+    def test_surface_lookup(self):
+        surface = figure_1a()
+        assert surface.at(16, 0.05) == surface.values[-1][0]

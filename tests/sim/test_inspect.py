@@ -1,0 +1,78 @@
+"""State rendering (the Figure 2 diagram and friends)."""
+
+from repro.mem.page import mbytes
+from repro.sim.engine import SimulationEngine
+from repro.sim.inspect import (
+    render_cache_figure,
+    render_machine,
+    render_memory_split,
+)
+from repro.sim.machine import Machine, MachineConfig
+from repro.workloads import Thrasher
+
+
+def run_machine(cc=True):
+    workload = Thrasher(mbytes(1.2), cycles=2, write=True)
+    machine = Machine(
+        MachineConfig(memory_bytes=mbytes(0.5), compression_cache=cc),
+        workload.build(),
+    )
+    SimulationEngine(machine).run(workload.references())
+    return machine
+
+
+class TestCacheFigure:
+    def test_states_rendered(self):
+        machine = run_machine()
+        text = render_cache_figure(machine.ccache)
+        assert "compressed pages" in text
+        assert "legend" in text
+        # Under write pressure the map holds clean and/or dirty slots.
+        body = text.splitlines()[1:-1]
+        glyphs = "".join(line.split()[-1] for line in body if line.strip())
+        assert any(glyph in glyphs for glyph in "CDn")
+
+    def test_empty_cache(self):
+        workload = Thrasher(mbytes(0.1), cycles=1)
+        machine = Machine(
+            MachineConfig(memory_bytes=mbytes(0.5)), workload.build()
+        )
+        text = render_cache_figure(machine.ccache)
+        assert "(empty)" in text
+
+    def test_row_wrapping(self):
+        machine = run_machine()
+        text = render_cache_figure(machine.ccache, slots_per_row=8)
+        body = [line for line in text.splitlines()
+                if line.strip() and line.strip()[0].isdigit()]
+        assert all(len(line.split()[-1]) <= 8 for line in body)
+
+
+class TestMemorySplit:
+    def test_bar_accounts_for_everything(self):
+        machine = run_machine()
+        text = render_memory_split(machine.frames)
+        assert "uncompressed VM" in text
+        assert "compressed" in text
+        split = machine.frames.split()
+        for key in ("vm", "cc", "fs", "free"):
+            assert str(split[key]) in text
+
+    def test_bar_width(self):
+        machine = run_machine()
+        bar_line = render_memory_split(machine.frames, width=40).splitlines()[0]
+        assert len(bar_line) == 42  # width + brackets
+
+
+class TestMachineSnapshot:
+    def test_full_render(self):
+        machine = run_machine()
+        text = render_machine(machine)
+        assert "machine:" in text
+        assert "compression cache:" in text
+        assert "device:" in text
+
+    def test_std_machine_renders_without_cache(self):
+        machine = run_machine(cc=False)
+        text = render_machine(machine)
+        assert "compression cache:" not in text

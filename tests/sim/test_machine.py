@@ -1,0 +1,117 @@
+"""Machine wiring and configuration."""
+
+import pytest
+
+from repro.mem.page import mbytes
+from repro.sim.machine import DEVICE_PRESETS, Machine, MachineConfig
+from repro.vm.compressed import CompressedVM
+from repro.vm.faults import VmConfigurationError
+from repro.vm.standard import StandardVM
+from repro.workloads import SyntheticWorkload
+
+
+def build(config, space_mb=2):
+    workload = SyntheticWorkload(mbytes(space_mb), references=1)
+    return Machine(config, workload.build())
+
+
+class TestConstruction:
+    def test_compression_cache_machine(self):
+        machine = build(MachineConfig(memory_bytes=mbytes(1)))
+        assert isinstance(machine.vm, CompressedVM)
+        assert machine.ccache is not None
+        assert machine.fragstore is not None
+
+    def test_baseline_machine(self):
+        machine = build(
+            MachineConfig(memory_bytes=mbytes(1), compression_cache=False)
+        )
+        assert isinstance(machine.vm, StandardVM)
+        assert machine.ccache is None
+
+    def test_variant_and_baseline_helpers(self):
+        config = MachineConfig(memory_bytes=mbytes(4))
+        baseline = config.baseline()
+        assert not baseline.compression_cache
+        assert baseline.memory_bytes == config.memory_bytes
+        assert config.variant(compressor="lzss").compressor == "lzss"
+
+    def test_all_device_presets_buildable(self):
+        for name in DEVICE_PRESETS:
+            machine = build(
+                MachineConfig(memory_bytes=mbytes(1), device=name)
+            )
+            assert machine.device is not None
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(VmConfigurationError):
+            build(MachineConfig(memory_bytes=mbytes(1), device="ssd9000"))
+
+    def test_lfs_filesystem(self):
+        from repro.storage.lfs import LogStructuredFS
+
+        machine = build(MachineConfig(memory_bytes=mbytes(1),
+                                      filesystem="lfs"))
+        assert isinstance(machine.fs, LogStructuredFS)
+
+    def test_unknown_filesystem_rejected(self):
+        with pytest.raises(VmConfigurationError):
+            build(MachineConfig(memory_bytes=mbytes(1), filesystem="zfs"))
+
+    def test_lfs_machine_runs_both_systems(self):
+        from repro.sim.engine import SimulationEngine
+        from repro.workloads import Thrasher
+
+        for compression_cache in (False, True):
+            workload = Thrasher(mbytes(1), cycles=2, write=True)
+            machine = Machine(
+                MachineConfig(memory_bytes=mbytes(0.5), filesystem="lfs",
+                              compression_cache=compression_cache),
+                workload.build(),
+            )
+            result = SimulationEngine(machine).run(workload.references())
+            assert result.metrics_snapshot["faults"]["total"] > 0
+
+    def test_too_little_memory_rejected(self):
+        with pytest.raises(VmConfigurationError):
+            build(MachineConfig(memory_bytes=8192))
+
+    def test_page_size_mismatch_rejected(self):
+        workload = SyntheticWorkload(mbytes(1), references=1,
+                                     page_size=8192)
+        with pytest.raises(VmConfigurationError):
+            Machine(MachineConfig(memory_bytes=mbytes(1)), workload.build())
+
+
+class TestMetadataOverhead:
+    def test_cc_machine_has_fewer_user_frames(self):
+        """Section 4.4's overheads cost the CC configuration real memory."""
+        cc = build(MachineConfig(memory_bytes=mbytes(1)))
+        std = build(
+            MachineConfig(memory_bytes=mbytes(1), compression_cache=False)
+        )
+        assert cc.user_frames < std.user_frames
+
+    def test_overhead_scales_with_address_space(self):
+        small = build(MachineConfig(memory_bytes=mbytes(1)), space_mb=1)
+        large = build(MachineConfig(memory_bytes=mbytes(1)), space_mb=16)
+        assert large.user_frames < small.user_frames
+
+
+class TestMeasurementReset:
+    def test_reset_clears_metrics_keeps_state(self):
+        from repro.sim.engine import SimulationEngine
+        from repro.workloads import Thrasher
+
+        workload = Thrasher(300 * 4096, cycles=1, write=True)
+        machine = Machine(
+            MachineConfig(memory_bytes=mbytes(1)), workload.build()
+        )
+        engine = SimulationEngine(machine)
+        engine.run(workload.references())
+        resident_before = machine.vm.resident_pages
+        machine.reset_measurement()
+        assert machine.vm.metrics.accesses == 0
+        assert machine.ledger.total() == 0.0
+        assert machine.vm.resident_pages == resident_before
+        assert machine.ledger.now > 0.0  # clock keeps running

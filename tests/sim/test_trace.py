@@ -1,0 +1,115 @@
+"""Trace recording, serialization, replay."""
+
+import io
+
+import pytest
+
+from repro.mem.page import PageId, mbytes
+from repro.sim.engine import PageRef, SimulationEngine
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.trace import Trace, TraceFormatError
+from repro.workloads import SyntheticWorkload, Thrasher
+
+
+class TestRecord:
+    def test_record_drops_mutations(self):
+        workload = Thrasher(4 * 4096, cycles=1, write=True)
+        workload.build()
+        trace = Trace.record(workload.references())
+        assert len(trace) == 4
+        assert all(ref.mutate is None for ref in trace)
+        assert all(ref.write for ref in trace)
+
+    def test_record_caps_events(self):
+        workload = Thrasher(8 * 4096, cycles=4)
+        workload.build()
+        trace = Trace.record(workload.references(), max_events=10)
+        assert len(trace) == 10
+
+    def test_statistics(self):
+        refs = [
+            PageRef(PageId(0, 0), write=True),
+            PageRef(PageId(0, 1)),
+            PageRef(PageId(0, 0)),
+        ]
+        trace = Trace(refs)
+        assert trace.write_fraction == pytest.approx(1 / 3)
+        assert trace.touched_pages() == 2
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        refs = [
+            PageRef(PageId(0, 3), write=True, compute_seconds=0.0025),
+            PageRef(PageId(1, 7)),
+        ]
+        buffer = io.StringIO()
+        Trace(refs).dump(buffer)
+        buffer.seek(0)
+        restored = Trace.load(buffer)
+        assert len(restored) == 2
+        assert restored.refs[0].page_id == PageId(0, 3)
+        assert restored.refs[0].write
+        assert restored.refs[0].compute_seconds == pytest.approx(0.0025)
+        assert restored.refs[1].page_id == PageId(1, 7)
+        assert not restored.refs[1].write
+
+    def test_file_round_trip(self, tmp_path):
+        workload = SyntheticWorkload(mbytes(1), references=50)
+        workload.build()
+        trace = Trace.record(workload.references())
+        path = tmp_path / "trace.txt"
+        trace.dump(path)
+        restored = Trace.load(path)
+        assert [(r.page_id, r.write) for r in restored] == [
+            (r.page_id, r.write) for r in trace
+        ]
+
+    def test_bad_header(self):
+        with pytest.raises(TraceFormatError):
+            Trace.load(io.StringIO("not a trace\n"))
+
+    def test_bad_flags(self):
+        with pytest.raises(TraceFormatError):
+            Trace.load(io.StringIO("#repro-trace v1 1\n0 0 x\n"))
+
+    def test_truncated(self):
+        with pytest.raises(TraceFormatError):
+            Trace.load(io.StringIO("#repro-trace v1 5\n0 0 r\n"))
+
+    def test_bad_page_id(self):
+        with pytest.raises(TraceFormatError):
+            Trace.load(io.StringIO("#repro-trace v1 1\na b r\n"))
+
+
+class TestReplay:
+    def test_replay_matches_live_run(self):
+        """A recorded trace replayed through the engine produces the same
+        fault counts as the live workload (writes replay with the default
+        mutation, preserving dirtiness)."""
+        def build():
+            workload = SyntheticWorkload(
+                mbytes(1), references=400, seed=5, write_fraction=0.4
+            )
+            workload.build()
+            return workload
+
+        live_workload = build()
+        live_machine = Machine(
+            MachineConfig(memory_bytes=mbytes(0.5), compression_cache=False),
+            live_workload.build(),
+        )
+        live = SimulationEngine(live_machine).run(live_workload.references())
+
+        trace_workload = build()
+        trace = Trace.record(trace_workload.references())
+        replay_workload = build()
+        replay_machine = Machine(
+            MachineConfig(memory_bytes=mbytes(0.5), compression_cache=False),
+            replay_workload.build(),
+        )
+        replay = SimulationEngine(replay_machine).run(iter(trace))
+        assert (
+            replay.metrics_snapshot["faults"]["total"]
+            == live.metrics_snapshot["faults"]["total"]
+        )

@@ -1,0 +1,116 @@
+"""Buffer cache: hits, misses, eviction, write-back."""
+
+import pytest
+
+from repro.mem.frames import FrameOwner, FramePool
+from repro.storage.blockfs import BlockFileSystem
+from repro.storage.buffercache import BufferCache
+from repro.storage.disk import DiskModel
+
+
+def make_cache(nframes=4):
+    fs = BlockFileSystem(DiskModel.rz57())
+    frames = FramePool(nframes)
+    return BufferCache(fs, frames), fs, frames
+
+
+class TestHitsAndMisses:
+    def test_miss_then_hit(self):
+        cache, fs, _ = make_cache()
+        f = fs.open("data")
+        miss_cost = cache.access(f, 0, now=0.0)
+        hit_cost = cache.access(f, 0, now=1.0)
+        assert miss_cost > 0.0
+        assert hit_cost == 0.0
+        assert cache.counters.hits == 1
+        assert cache.counters.misses == 1
+        assert cache.counters.hit_rate == 0.5
+
+    def test_distinct_blocks_distinct_entries(self):
+        cache, fs, _ = make_cache()
+        f = fs.open("data")
+        cache.access(f, 0, now=0.0)
+        cache.access(f, 1, now=1.0)
+        assert cache.nblocks == 2
+
+    def test_distinct_files_distinct_entries(self):
+        cache, fs, _ = make_cache()
+        a, b = fs.open("a"), fs.open("b")
+        cache.access(a, 0, now=0.0)
+        cache.access(b, 0, now=1.0)
+        assert cache.nblocks == 2
+
+
+class TestEviction:
+    def test_self_service_eviction_at_capacity(self):
+        cache, fs, frames = make_cache(nframes=2)
+        f = fs.open("data")
+        for block in range(4):
+            cache.access(f, block, now=float(block))
+        assert cache.nblocks == 2
+        assert frames.free_frames == 0
+
+    def test_lru_block_evicted_first(self):
+        cache, fs, _ = make_cache(nframes=2)
+        f = fs.open("data")
+        cache.access(f, 0, now=0.0)
+        cache.access(f, 1, now=1.0)
+        cache.access(f, 0, now=2.0)  # touch block 0
+        cache.access(f, 2, now=3.0)  # evicts block 1
+        before = cache.counters.misses
+        cache.access(f, 0, now=4.0)
+        assert cache.counters.misses == before  # still cached
+
+    def test_dirty_eviction_writes_back(self):
+        cache, fs, _ = make_cache(nframes=1)
+        f = fs.open("data")
+        cache.access(f, 0, now=0.0, write=True)
+        writes_before = fs.device.counters.writes
+        cache.access(f, 1, now=1.0)  # evicts dirty block 0
+        assert fs.device.counters.writes > writes_before
+        assert cache.counters.writebacks == 1
+
+    def test_clean_eviction_is_free(self):
+        cache, fs, _ = make_cache(nframes=1)
+        f = fs.open("data")
+        cache.access(f, 0, now=0.0)
+        cache.access(f, 1, now=1.0)
+        assert cache.counters.writebacks == 0
+
+    def test_shrink_one_empty_returns_none(self):
+        cache, _, _ = make_cache()
+        assert cache.shrink_one() is None
+
+    def test_shrink_releases_frame(self):
+        cache, fs, frames = make_cache()
+        f = fs.open("data")
+        cache.access(f, 0, now=0.0)
+        free_before = frames.free_frames
+        cache.shrink_one()
+        assert frames.free_frames == free_before + 1
+
+
+class TestFlush:
+    def test_flush_writes_all_dirty(self):
+        cache, fs, _ = make_cache()
+        f = fs.open("data")
+        cache.access(f, 0, now=0.0, write=True)
+        cache.access(f, 1, now=1.0, write=True)
+        cache.access(f, 2, now=2.0)
+        seconds = cache.flush()
+        assert seconds > 0.0
+        assert cache.counters.writebacks == 2
+        assert cache.flush() == 0.0  # now clean
+
+
+class TestAges:
+    def test_coldest_age(self):
+        cache, fs, _ = make_cache()
+        f = fs.open("data")
+        cache.access(f, 0, now=10.0)
+        cache.access(f, 1, now=20.0)
+        assert cache.coldest_age(30.0) == pytest.approx(20.0)
+
+    def test_empty_cache_age_is_none(self):
+        cache, _, _ = make_cache()
+        assert cache.coldest_age(0.0) is None

@@ -1,0 +1,103 @@
+"""Disk and network device timing models."""
+
+import pytest
+
+from repro.storage.disk import DiskModel
+from repro.storage.network import NetworkModel
+
+
+class TestDiskModel:
+    def test_random_op_includes_seek_and_rotation(self):
+        disk = DiskModel.rz57()
+        random_read = disk.read(4096, sequential=False)
+        assert random_read > disk.avg_seek_s
+        assert random_read == pytest.approx(
+            disk.fixed_overhead_s
+            + disk.avg_seek_s
+            + disk.avg_rotation_s
+            + 4096 / disk.bandwidth
+        )
+
+    def test_rz57_random_page_costs_tens_of_ms(self):
+        disk = DiskModel.rz57()
+        seconds = disk.read(4096, sequential=False)
+        assert 0.015 < seconds < 0.035
+
+    def test_small_sequential_pays_rotation_miss(self):
+        disk = DiskModel.rz57()
+        seconds = disk.read(4096, sequential=True)
+        assert seconds > disk.full_rotation_s
+        assert seconds < disk.read(4096, sequential=False)
+
+    def test_large_sequential_streams(self):
+        disk = DiskModel.rz57()
+        seconds = disk.write(64 * 1024, sequential=True)
+        assert seconds == pytest.approx(
+            disk.fixed_overhead_s + 65536 / disk.bandwidth
+        )
+
+    def test_batched_write_beats_per_page_writes(self):
+        """The paper's 32-KByte batches: one op vs eight random ops."""
+        batched_disk = DiskModel.rz57()
+        batched = batched_disk.write(32768, sequential=False)
+        individual_disk = DiskModel.rz57()
+        individual = sum(
+            individual_disk.write(4096, sequential=False) for _ in range(8)
+        )
+        assert batched < individual / 3
+
+    def test_counters(self):
+        disk = DiskModel.rz57()
+        disk.read(4096)
+        disk.write(8192, sequential=True)
+        counters = disk.counters
+        assert counters.reads == 1
+        assert counters.writes == 1
+        assert counters.bytes_read == 4096
+        assert counters.bytes_written == 8192
+        assert counters.seeks == 1
+        assert counters.busy_seconds > 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DiskModel.rz57().read(-1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DiskModel(rpm=0)
+
+    def test_presets_ordering(self):
+        """Mobile disk slower than RZ57, modern disk much faster."""
+        size = 4096
+        rz57 = DiskModel.rz57().read(size)
+        pcmcia = DiskModel.slow_pcmcia().read(size)
+        modern = DiskModel.modern_hdd().read(size)
+        assert pcmcia > rz57 > modern
+
+
+class TestNetworkModel:
+    def test_ethernet_page_transfer(self):
+        net = NetworkModel.ethernet()
+        seconds = net.read(4096)
+        # 4 KBytes at 10 Mbps is ~3.3 ms plus RPC and packet costs.
+        assert 0.003 < seconds < 0.012
+
+    def test_wavelan_slower_than_ethernet(self):
+        assert (
+            NetworkModel.wavelan().read(4096)
+            > NetworkModel.ethernet().read(4096)
+        )
+
+    def test_sequential_amortizes_rpc(self):
+        net = NetworkModel.ethernet()
+        assert net.read(4096, sequential=True) < net.read(4096)
+
+    def test_packet_count_matters(self):
+        net = NetworkModel(per_packet_ms=1.0, packet_bytes=1000)
+        one = net.read(900, sequential=True)
+        three = net.read(2900, sequential=True)
+        assert three > one + 2 * 0.001
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bits_per_s=0)

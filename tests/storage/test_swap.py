@@ -1,0 +1,82 @@
+"""Standard swap: fixed page-to-block mapping."""
+
+import pytest
+
+from repro.mem.page import PageId
+from repro.storage.blockfs import BlockFileSystem
+from repro.storage.disk import DiskModel
+from repro.storage.swap import StandardSwap
+
+from ..conftest import PAGE
+
+
+@pytest.fixture
+def swap():
+    return StandardSwap(BlockFileSystem(DiskModel.rz57()))
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, swap):
+        page_id = PageId(0, 3)
+        data = b"S" * PAGE
+        swap.write_page(page_id, data)
+        restored, _ = swap.read_page(page_id)
+        assert restored == data
+
+    def test_pages_at_fixed_offsets(self, swap):
+        """The one-to-one page-to-block mapping: page n at offset n*4K."""
+        swap.write_page(PageId(0, 2), b"X" * PAGE)
+        handle = swap._file(0)
+        assert handle.blocks[2] == bytearray(b"X" * PAGE)
+
+    def test_separate_files_per_segment(self, swap):
+        swap.write_page(PageId(0, 0), b"A" * PAGE)
+        swap.write_page(PageId(7, 0), b"B" * PAGE)
+        assert swap._file(0) is not swap._file(7)
+        assert swap.read_page(PageId(0, 0))[0][:1] == b"A"
+        assert swap.read_page(PageId(7, 0))[0][:1] == b"B"
+
+    def test_overwrite_page(self, swap):
+        page_id = PageId(0, 0)
+        swap.write_page(page_id, b"1" * PAGE)
+        swap.write_page(page_id, b"2" * PAGE)
+        assert swap.read_page(page_id)[0] == b"2" * PAGE
+
+
+class TestStateTracking:
+    def test_contains(self, swap):
+        page_id = PageId(0, 5)
+        assert not swap.contains(page_id)
+        swap.write_page(page_id, bytes(PAGE))
+        assert swap.contains(page_id)
+
+    def test_invalidate(self, swap):
+        page_id = PageId(0, 5)
+        swap.write_page(page_id, bytes(PAGE))
+        swap.invalidate(page_id)
+        assert not swap.contains(page_id)
+        with pytest.raises(KeyError):
+            swap.read_page(page_id)
+
+    def test_read_unwritten_raises(self, swap):
+        with pytest.raises(KeyError):
+            swap.read_page(PageId(0, 9))
+
+    def test_counters(self, swap):
+        page_id = PageId(0, 0)
+        swap.write_page(page_id, bytes(PAGE))
+        swap.read_page(page_id)
+        assert swap.counters.pages_out == 1
+        assert swap.counters.pages_in == 1
+
+
+class TestValidation:
+    def test_partial_page_rejected(self, swap):
+        with pytest.raises(ValueError):
+            swap.write_page(PageId(0, 0), b"short")
+
+    def test_page_writes_never_rmw(self, swap):
+        """Page-aligned whole-page writes avoid the partial-write path."""
+        for n in range(4):
+            swap.write_page(PageId(0, n), bytes(PAGE))
+        assert swap.fs.counters.rmw_reads == 0

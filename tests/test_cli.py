@@ -1,0 +1,76 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_present(self):
+        parser = build_parser()
+        for argv in (["figure1"], ["figure3"], ["table1"], ["demo"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_option(self):
+        args = build_parser().parse_args(["figure3", "--scale", "0.5"])
+        assert args.scale == 0.5
+
+
+class TestExecution:
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1(a)" in out
+        assert "Figure 1(b)" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "unmodified system" in out
+        assert "compression cache" in out
+
+    def test_figure3_small(self, capsys):
+        assert main(["figure3", "--scale", "0.05", "--mode", "rw"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3 (rw)" in out
+
+    def test_table1_single_row(self, capsys):
+        assert main(["table1", "--scale", "0.04", "--rows", "compare"]) == 0
+        out = capsys.readouterr().out
+        assert "compare" in out
+
+    def test_table1_unknown_row(self, capsys):
+        assert main(["table1", "--rows", "nonesuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rows" in err
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "compression cache:" in out
+        assert "legend" in out
+
+    def test_trace_record_and_analyze(self, capsys, tmp_path):
+        path = str(tmp_path / "t.trace")
+        assert main([
+            "trace-record", "--workload", "thrasher", "--out", path,
+            "--scale", "0.02", "--max-events", "500",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out
+        assert main(["trace-analyze", path, "--frames", "8,64"]) == 0
+        out = capsys.readouterr().out
+        assert "working-set knee" in out
+        assert "64 frames" in out
+
+    def test_trace_record_unknown_workload(self, capsys, tmp_path):
+        assert main([
+            "trace-record", "--workload", "doom", "--out",
+            str(tmp_path / "x"),
+        ]) == 2
+        assert "unknown workload" in capsys.readouterr().err

@@ -1,0 +1,90 @@
+"""Section 4.4 space-overhead accounting, end to end.
+
+The paper itemizes the compression cache's memory costs; this module
+checks both the constants and that the machine builder actually charges
+them against usable memory.
+"""
+
+import pytest
+
+from repro.ccache.header import (
+    CODE_SIZE_BYTES,
+    COMPRESSED_PAGE_HEADER_BYTES,
+    FRAME_HEADER_BYTES,
+    HASH_TABLE_BYTES,
+    SLOT_DESCRIPTOR_BYTES,
+    cache_metadata_bytes,
+)
+from repro.mem.page import mbytes
+from repro.mem.pagetable import page_table_overhead_bytes
+from repro.sim.machine import Machine, MachineConfig
+from repro.workloads import SyntheticWorkload
+
+PAGE = 4096
+
+
+class TestPaperNumbers:
+    def test_sixty_mbyte_example(self):
+        """"If the collective virtual memory of all running processes is
+        60 Mbytes, with 4-Kbyte pages, the per-page overhead for the
+        compression cache would total 120 Kbytes."""
+        pages = mbytes(60) // PAGE
+        extra = (
+            page_table_overhead_bytes(pages, True)
+            - page_table_overhead_bytes(pages, False)
+        )
+        assert extra == 120 * 1024
+
+    def test_frame_header_is_point_six_percent(self):
+        assert FRAME_HEADER_BYTES / PAGE == pytest.approx(0.006, abs=5e-4)
+
+    def test_hash_table_and_code_sizes(self):
+        assert HASH_TABLE_BYTES == 16 * 1024
+        assert CODE_SIZE_BYTES == 22 * 1024
+
+    def test_metadata_formula_composition(self):
+        total = cache_metadata_bytes(
+            max_cache_frames=2048, mapped_frames=512, compressed_pages=1500
+        )
+        assert total == (
+            SLOT_DESCRIPTOR_BYTES * 2048
+            + FRAME_HEADER_BYTES * 512
+            + COMPRESSED_PAGE_HEADER_BYTES * 1500
+            + HASH_TABLE_BYTES
+        )
+
+
+class TestChargedAgainstMemory:
+    def _frames(self, compression_cache, space_mb=8):
+        workload = SyntheticWorkload(mbytes(space_mb), references=1)
+        machine = Machine(
+            MachineConfig(memory_bytes=mbytes(2),
+                          compression_cache=compression_cache),
+            workload.build(),
+        )
+        return machine.user_frames
+
+    def test_cc_costs_real_frames(self):
+        assert self._frames(True) < self._frames(False)
+
+    def test_overhead_grows_with_address_space(self):
+        small = self._frames(True, space_mb=2)
+        large = self._frames(True, space_mb=32)
+        # 8 extra bytes/page * (32-2) MB / 4 KB = 61440 bytes = 15 frames,
+        # minus the standard 4 bytes/page growth shared by both systems.
+        assert small - large >= (mbytes(30) // PAGE) * 8 // PAGE
+
+    def test_exact_overhead_difference(self):
+        space_pages = mbytes(8) // PAGE
+        std_overhead = page_table_overhead_bytes(space_pages, False)
+        cc_overhead = (
+            page_table_overhead_bytes(space_pages, True)
+            + HASH_TABLE_BYTES
+            + CODE_SIZE_BYTES
+            + SLOT_DESCRIPTOR_BYTES * (mbytes(2) // PAGE)
+        )
+        expected_frame_gap = (
+            (mbytes(2) - std_overhead) // PAGE
+            - (mbytes(2) - cc_overhead) // PAGE
+        )
+        assert self._frames(False) - self._frames(True) == expected_frame_gap

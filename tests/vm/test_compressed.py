@@ -1,0 +1,183 @@
+"""CompressedVM: the compression-cache paging path."""
+
+import pytest
+
+from repro.ccache.threshold import AdaptiveCompressionGate
+from repro.mem.page import PageId, PageState
+from repro.sim.engine import SimulationEngine
+from repro.sim.machine import Machine
+from repro.workloads import SyntheticWorkload, Thrasher
+
+from ..conftest import tiny_machine
+
+
+def make_cc_machine(workload, memory_mb=1.0, **overrides):
+    return Machine(
+        tiny_machine(compression_cache=True, memory_mb=memory_mb,
+                     **overrides),
+        workload.build(),
+    )
+
+
+class TestFaultPath:
+    def test_faults_served_from_cache_not_disk(self):
+        """Working set fits compressed: no backing-store traffic at all."""
+        workload = Thrasher(400 * 4096, cycles=3, write=True)
+        machine = make_cc_machine(workload, memory_mb=1.0)
+        result = SimulationEngine(machine).run(workload.references())
+        faults = result.metrics_snapshot["faults"]
+        assert faults["from_ccache"] > 0
+        assert faults["from_fragstore"] == 0
+        assert faults["from_swap"] == 0
+
+    def test_overflow_goes_to_fragstore(self):
+        """Working set too big even compressed: compressed swap I/O."""
+        workload = Thrasher(2000 * 4096, cycles=3, write=True)
+        machine = make_cc_machine(workload, memory_mb=1.0)
+        result = SimulationEngine(machine).run(workload.references())
+        faults = result.metrics_snapshot["faults"]
+        assert faults["from_fragstore"] > 0
+        assert machine.fragstore.counters.pages_got > 0
+
+    def test_uncompressible_pages_use_raw_swap(self):
+        workload = SyntheticWorkload(
+            4096 * 800, references=4000, compressible_fraction=0.0,
+            hot_probability=0.2, write_fraction=0.5, seed=3,
+        )
+        machine = make_cc_machine(workload, memory_mb=1.0)
+        result = SimulationEngine(machine).run(workload.references())
+        evictions = result.metrics_snapshot["evictions"]
+        assert evictions["uncompressible"] > 0
+        assert evictions["raw_writes"] > 0
+        assert machine.swap.counters.pages_out > 0
+
+    def test_round_trips_verified_paranoid(self):
+        workload = Thrasher(600 * 4096, cycles=2, write=True)
+        machine = make_cc_machine(workload, memory_mb=1.0, paranoid=True)
+        SimulationEngine(machine).run(workload.references())
+        # paranoid mode decompresses and verifies on every fault
+
+
+class TestEvictionPath:
+    def test_compression_time_charged_even_when_wasted(self):
+        """Table 1: 'the time to compress these pages was wasted effort'."""
+        from repro.sim.ledger import TimeCategory
+
+        workload = SyntheticWorkload(
+            4096 * 600, references=3000, compressible_fraction=0.0,
+            hot_probability=0.2, write_fraction=0.5, seed=5,
+        )
+        machine = make_cc_machine(workload, memory_mb=1.0)
+        result = SimulationEngine(machine).run(workload.references())
+        assert result.metrics_snapshot["evictions"]["compressed_kept"] == 0
+        assert machine.ledger.total(TimeCategory.COMPRESS) > 0.0
+
+    def test_fast_drop_for_unmodified_cached_page(self):
+        workload = Thrasher(500 * 4096, cycles=3, write=False)
+        machine = make_cc_machine(workload, memory_mb=1.0)
+        result = SimulationEngine(machine).run(workload.references())
+        assert result.metrics_snapshot["evictions"]["ccache_fast_drops"] > 0
+
+    def test_threshold_accounting_matches_table1_columns(self):
+        workload = SyntheticWorkload(
+            4096 * 600, references=3000, compressible_fraction=0.5,
+            hot_probability=0.2, write_fraction=0.5, seed=7,
+        )
+        machine = make_cc_machine(workload, memory_mb=1.0)
+        result = SimulationEngine(machine).run(workload.references())
+        # About half the evicted pages compress: both columns populated.
+        assert 20.0 < result.uncompressible_percent < 80.0
+        assert result.compression_ratio_percent < 40.0
+
+
+class TestAdaptiveGate:
+    def test_gate_disables_compression_for_random_data(self):
+        workload = SyntheticWorkload(
+            4096 * 800, references=5000, compressible_fraction=0.0,
+            hot_probability=0.2, write_fraction=0.5, seed=9,
+        )
+        machine = make_cc_machine(workload, memory_mb=1.0,
+                                  adaptive_gate=True)
+        result = SimulationEngine(machine).run(workload.references())
+        assert machine.gate.times_closed >= 1
+        assert result.metrics_snapshot["evictions"]["bypassed_gate"] > 0
+
+    def test_gated_run_spends_less_compression_time(self):
+        from repro.sim.ledger import TimeCategory
+
+        def run(adaptive):
+            workload = SyntheticWorkload(
+                4096 * 800, references=5000, compressible_fraction=0.0,
+                hot_probability=0.2, write_fraction=0.5, seed=9,
+            )
+            machine = make_cc_machine(workload, memory_mb=1.0,
+                                      adaptive_gate=adaptive)
+            SimulationEngine(machine).run(workload.references())
+            return machine.ledger.total(TimeCategory.COMPRESS)
+
+        assert run(True) < run(False)
+
+    def test_gate_stays_open_for_compressible_data(self):
+        workload = Thrasher(500 * 4096, cycles=2, write=True)
+        machine = make_cc_machine(workload, memory_mb=1.0,
+                                  adaptive_gate=True)
+        SimulationEngine(machine).run(workload.references())
+        assert machine.gate.times_closed == 0
+
+
+class TestPrefetch:
+    def test_colocated_prefetch_reduces_reads(self):
+        def run(prefetch):
+            workload = Thrasher(2500 * 4096, cycles=3, write=False, seed=2)
+            machine = make_cc_machine(
+                workload, memory_mb=1.0, prefetch_colocated=prefetch
+            )
+            result = SimulationEngine(machine).run(workload.references())
+            return machine.device.counters.reads, result
+
+        reads_with, result_with = run(True)
+        reads_without, _ = run(False)
+        assert reads_with < reads_without
+        assert result_with.metrics_snapshot["prefetched_pages"] > 0
+
+
+class TestStateConsistency:
+    def test_states_resolve_after_drain(self):
+        workload = Thrasher(600 * 4096, cycles=2, write=True)
+        machine = make_cc_machine(workload, memory_mb=1.0)
+        engine = SimulationEngine(machine)
+        engine.run(workload.references(), drain=True)
+        seg = next(machine.address_space.segments())
+        for pte in seg.touched_entries():
+            assert pte.state in (PageState.COMPRESSED,
+                                 PageState.BACKING_STORE)
+            if pte.state == PageState.COMPRESSED:
+                assert pte.page_id in machine.ccache
+        # Every dirty compressed page reached the backing store.
+        assert machine.ccache.dirty_pages() == 0
+
+    def test_frame_accounting_reconciles(self):
+        workload = Thrasher(700 * 4096, cycles=2, write=True)
+        machine = make_cc_machine(workload, memory_mb=1.0)
+        SimulationEngine(machine).run(workload.references())
+        frames = machine.frames
+        from repro.mem.frames import FrameOwner
+
+        assert frames.owned_by(FrameOwner.VM) == machine.vm.resident_pages
+        assert (
+            frames.owned_by(FrameOwner.COMPRESSION) == machine.ccache.nframes
+        )
+        total = (
+            frames.owned_by(FrameOwner.VM)
+            + frames.owned_by(FrameOwner.COMPRESSION)
+            + frames.owned_by(FrameOwner.FILE_CACHE)
+            + frames.free_frames
+        )
+        assert total == frames.total_frames
+
+    def test_cleaner_runs_under_pressure(self):
+        workload = Thrasher(2000 * 4096, cycles=2, write=True)
+        machine = make_cc_machine(workload, memory_mb=1.0)
+        result = SimulationEngine(machine).run(workload.references())
+        assert result.metrics_snapshot["cleaner_invocations"] > 0
+        assert machine.ccache.counters.cleaned_pages > 0

@@ -1,0 +1,158 @@
+"""The Mach-style external-pager architecture."""
+
+import pytest
+
+from repro.mem.page import PageId, mbytes
+from repro.pager.interface import PagerError
+from repro.sim.engine import SimulationEngine
+from repro.sim.ledger import TimeCategory
+from repro.sim.machine import Machine, MachineConfig
+from repro.vm.faults import VmConfigurationError
+from repro.workloads import SyntheticWorkload, Thrasher
+
+
+def make_machine(compression_cache, memory_mb=0.5, space_mb=1.2,
+                 paranoid=False, cycles=3):
+    workload = Thrasher(mbytes(space_mb), cycles=cycles, write=True)
+    machine = Machine(
+        MachineConfig(
+            memory_bytes=mbytes(memory_mb),
+            compression_cache=compression_cache,
+            vm_architecture="external-pager",
+            paranoid=paranoid,
+        ),
+        workload.build(),
+    )
+    return workload, machine
+
+
+class TestDefaultPager:
+    def test_round_trips_pages(self):
+        workload, machine = make_machine(False, paranoid=True)
+        result = SimulationEngine(machine).run(workload.references())
+        assert result.metrics_snapshot["faults"]["total"] > 0
+        assert machine.pager is not None
+        # paranoid mode verified every pagein against the true contents
+
+    def test_pagein_unknown_page_raises(self):
+        _, machine = make_machine(False)
+        with pytest.raises(PagerError):
+            machine.pager.pagein(PageId(0, 999))
+
+    def test_clean_pageouts_free(self):
+        workload, machine = make_machine(False, space_mb=1.0, cycles=4)
+        result = SimulationEngine(machine).run(workload.references())
+        # Read-write thrasher: every eviction dirty, so writes dominate;
+        # with a read-only workload clean drops appear.
+        ro = Thrasher(mbytes(1.0), cycles=4, write=False)
+        machine_ro = Machine(
+            MachineConfig(memory_bytes=mbytes(0.5),
+                          compression_cache=False,
+                          vm_architecture="external-pager"),
+            ro.build(),
+        )
+        result_ro = SimulationEngine(machine_ro).run(ro.references())
+        assert result_ro.metrics_snapshot["evictions"]["clean_drops"] > 0
+
+
+class TestCompressionPager:
+    def test_round_trips_pages(self):
+        workload, machine = make_machine(True, paranoid=True)
+        result = SimulationEngine(machine).run(workload.references())
+        assert result.metrics_snapshot["faults"]["total"] > 0
+        assert machine.pager.stats.pages_compressed > 0
+
+    def test_cache_absorbs_io(self):
+        workload, machine = make_machine(True, space_mb=1.0)
+        SimulationEngine(machine).run(workload.references())
+        # The compressed working set fits: the disk stays nearly idle
+        # after the first-cycle write-out is batched by the cleaner.
+        assert machine.ccache.compressed_pages > 0
+
+    def test_uncompressible_pages_fall_through_to_swap(self):
+        workload = SyntheticWorkload(
+            mbytes(1.2), references=4000, compressible_fraction=0.0,
+            hot_probability=0.3, write_fraction=0.5, seed=8,
+        )
+        machine = Machine(
+            MachineConfig(memory_bytes=mbytes(0.5),
+                          compression_cache=True,
+                          vm_architecture="external-pager"),
+            workload.build(),
+        )
+        SimulationEngine(machine).run(workload.references())
+        assert machine.swap.counters.pages_out > 0
+        assert machine.pager.stats.pages_uncompressible > 0
+
+    def test_drain_flushes_pager(self):
+        workload, machine = make_machine(True)
+        engine = SimulationEngine(machine)
+        engine.run(workload.references(), drain=True)
+        assert machine.ccache.dirty_pages() == 0
+
+
+class TestIpcTax:
+    def test_crossings_charged(self):
+        workload, machine = make_machine(True)
+        result = SimulationEngine(machine).run(workload.references())
+        assert machine.vm.pager_crossings > 0
+        # Every crossing charged at least the IPC round trip.
+        assert result.time_breakdown["fault-trap"] >= (
+            machine.vm.pager_crossings
+            * machine.config.costs.ipc_roundtrip_s
+        )
+
+    def test_ipc_tax_on_identical_policy(self):
+        """Plain swap behind the pager interface versus in-kernel plain
+        swap: byte-identical policy, so the external version is slower
+        by exactly the per-crossing overhead."""
+        def run(architecture):
+            workload = Thrasher(mbytes(1.2), cycles=3, write=True)
+            machine = Machine(
+                MachineConfig(memory_bytes=mbytes(0.5),
+                              compression_cache=False,
+                              vm_architecture=architecture),
+                workload.build(),
+            )
+            result = SimulationEngine(machine).run(workload.references())
+            return result, machine
+
+        in_kernel, _ = run("monolithic")
+        external, machine = run("external-pager")
+        assert external.elapsed_seconds > in_kernel.elapsed_seconds
+        tax = (
+            machine.vm.pager_crossings
+            * (machine.config.costs.ipc_roundtrip_s
+               + machine.config.costs.copy_seconds(4096))
+        )
+        assert external.elapsed_seconds == pytest.approx(
+            in_kernel.elapsed_seconds + tax, rel=0.02
+        )
+
+    def test_external_cache_still_beats_external_swap(self):
+        """The architecture tax doesn't erase the compression win."""
+        def run(compression_cache):
+            workload, machine = make_machine(compression_cache)
+            return SimulationEngine(machine).run(
+                workload.references()
+            ).elapsed_seconds
+
+        assert run(True) < run(False)
+
+
+class TestConfiguration:
+    def test_unknown_architecture_rejected(self):
+        workload = Thrasher(mbytes(0.5))
+        with pytest.raises(VmConfigurationError):
+            Machine(
+                MachineConfig(memory_bytes=mbytes(0.5),
+                              vm_architecture="exokernel"),
+                workload.build(),
+            )
+
+    def test_monolithic_has_no_pager(self):
+        workload = Thrasher(mbytes(0.5))
+        machine = Machine(
+            MachineConfig(memory_bytes=mbytes(0.5)), workload.build()
+        )
+        assert machine.pager is None

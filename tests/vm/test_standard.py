@@ -1,0 +1,119 @@
+"""StandardVM: demand paging without compression."""
+
+import pytest
+
+from repro.mem.page import PageId, PageState
+from repro.sim.engine import PageRef, SimulationEngine
+from repro.sim.machine import Machine
+from repro.workloads import SyntheticWorkload, Thrasher
+
+from ..conftest import tiny_machine
+
+
+def make_std_machine(workload, memory_mb=1.0):
+    return Machine(
+        tiny_machine(compression_cache=False, memory_mb=memory_mb),
+        workload.build(),
+    )
+
+
+class TestResidency:
+    def test_fit_in_memory_no_io(self):
+        workload = Thrasher(64 * 4096, cycles=3, write=True)
+        machine = make_std_machine(workload, memory_mb=1.0)
+        result = SimulationEngine(machine).run(workload.references())
+        assert result.metrics_snapshot["faults"]["total"] == 64
+        assert machine.device.counters.reads == 0
+        assert machine.device.counters.writes == 0
+
+    def test_first_touch_is_zero_fill(self):
+        workload = Thrasher(16 * 4096, cycles=1, write=False)
+        machine = make_std_machine(workload)
+        result = SimulationEngine(machine).run(workload.references())
+        assert result.metrics_snapshot["faults"]["zero_fill"] == 16
+        assert result.metrics_snapshot["faults"]["from_swap"] == 0
+
+    def test_thrash_faults_every_access(self):
+        pages = 512  # 2 MBytes > 1 MByte of memory
+        workload = Thrasher(pages * 4096, cycles=2, write=True)
+        machine = make_std_machine(workload, memory_mb=1.0)
+        result = SimulationEngine(machine).run(workload.references())
+        assert result.metrics_snapshot["faults"]["total"] == 2 * pages
+
+    def test_lru_replacement_order(self):
+        machine = make_std_machine(
+            SyntheticWorkload(4096 * 4, references=1), memory_mb=1.0
+        )
+        vm = machine.vm
+        space = machine.address_space
+        seg = next(space.segments())
+        for n in range(3):
+            vm.touch(PageId(seg.segment_id, n))
+        vm.touch(PageId(seg.segment_id, 0))  # make page 0 hot
+        # Evict one: page 1 (the coldest) must go.
+        vm.shrink_one()
+        assert vm.is_resident(PageId(seg.segment_id, 0))
+        assert not vm.is_resident(PageId(seg.segment_id, 1))
+
+
+class TestSwapTraffic:
+    def test_dirty_eviction_writes_clean_eviction_does_not(self):
+        pages = 400
+        workload = Thrasher(pages * 4096, cycles=3, write=False)
+        machine = make_std_machine(workload, memory_mb=1.0)
+        result = SimulationEngine(machine).run(workload.references())
+        evictions = result.metrics_snapshot["evictions"]
+        # First eviction of each page writes (no backing copy yet);
+        # later evictions are clean drops (read-only workload).
+        assert evictions["raw_writes"] == pages
+        assert evictions["clean_drops"] > 0
+
+    def test_rw_thrash_writes_every_eviction(self):
+        pages = 400
+        workload = Thrasher(pages * 4096, cycles=2, write=True)
+        machine = make_std_machine(workload, memory_mb=1.0)
+        result = SimulationEngine(machine).run(workload.references())
+        evictions = result.metrics_snapshot["evictions"]
+        assert evictions["clean_drops"] == 0
+        assert evictions["raw_writes"] == evictions["total"]
+
+    def test_swap_round_trip_preserves_content(self):
+        workload = Thrasher(400 * 4096, cycles=2, write=True)
+        machine = Machine(
+            tiny_machine(compression_cache=False, memory_mb=1.0,
+                         paranoid=True),
+            workload.build(),
+        )
+        SimulationEngine(machine).run(workload.references())
+        # paranoid mode asserts on stale swap data internally
+
+    def test_state_transitions(self):
+        workload = SyntheticWorkload(4096 * 300, references=1)
+        machine = make_std_machine(workload, memory_mb=1.0)
+        vm = machine.vm
+        seg = next(machine.address_space.segments())
+        page = PageId(seg.segment_id, 0)
+        pte = machine.address_space.entry(page)
+        assert pte.state == PageState.UNTOUCHED
+        vm.touch(page, write=True)
+        assert pte.state == PageState.RESIDENT
+        vm.drain()
+        assert pte.state == PageState.BACKING_STORE
+
+
+class TestInvariants:
+    def test_check_invariants_clean_run(self):
+        workload = Thrasher(300 * 4096, cycles=2)
+        machine = make_std_machine(workload)
+        engine = SimulationEngine(machine)
+        engine.run(workload.references())
+        machine.vm.check_invariants()
+
+    def test_min_resident_respected(self):
+        workload = SyntheticWorkload(4096 * 64, references=200)
+        machine = make_std_machine(workload)
+        SimulationEngine(machine).run(workload.references())
+        vm = machine.vm
+        while vm.shrink_one() is not None:
+            pass
+        assert vm.resident_pages == vm.min_resident_frames

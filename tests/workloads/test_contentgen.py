@@ -1,0 +1,120 @@
+"""Content generators: determinism and measured compressibility bands.
+
+Table 1's compressibility columns depend on these generators producing
+pages whose *real* LZRW1 ratios land where the paper's applications did;
+each band below pins that calibration.
+"""
+
+import statistics
+
+import pytest
+
+from repro.compression import create
+from repro.workloads import contentgen as cg
+
+from ..conftest import PAGE
+
+
+@pytest.fixture(scope="module")
+def lzrw1():
+    return create("lzrw1")
+
+
+def mean_ratio(generator, lzrw1, n=30):
+    return statistics.mean(
+        lzrw1.compress(generator(i)).ratio for i in range(n)
+    )
+
+
+class TestDeterminism:
+    def test_same_args_same_bytes(self):
+        assert cg.repeating_pattern(3, seed=1) == cg.repeating_pattern(3, seed=1)
+        assert cg.dp_band_values(5) == cg.dp_band_values(5)
+        assert cg.incompressible(2) == cg.incompressible(2)
+        assert cg.index_page(4) == cg.index_page(4)
+        assert cg.cache_table_page(6) == cg.cache_table_page(6)
+
+    def test_different_pages_different_bytes(self):
+        assert cg.repeating_pattern(1) != cg.repeating_pattern(2)
+        assert cg.incompressible(1) != cg.incompressible(2)
+
+    def test_all_generators_fill_a_page(self):
+        dictionary = cg.make_dictionary(nwords=128)
+        pages = [
+            cg.repeating_pattern(0),
+            cg.incompressible(0),
+            cg.dp_band_values(0),
+            cg.text_page_random(0, dictionary),
+            cg.text_page_clustered(0, dictionary),
+            cg.index_page(0),
+            cg.cache_table_page(0),
+        ]
+        assert all(len(page) == PAGE for page in pages)
+
+
+class TestCompressibilityBands:
+    def test_thrasher_pages_roughly_4_to_1(self, lzrw1):
+        """Figure 3 caption: 'pages compress roughly 4:1'."""
+        ratio = mean_ratio(lambda i: cg.repeating_pattern(i), lzrw1)
+        assert 0.2 < ratio < 0.35
+
+    def test_dp_band_roughly_3_to_1(self, lzrw1):
+        """Table 1 compare: compression ratio 31%."""
+        ratio = mean_ratio(cg.dp_band_values, lzrw1)
+        assert 0.25 < ratio < 0.40
+
+    def test_cache_table_roughly_3_to_1(self, lzrw1):
+        """Table 1 isca: compression ratio 32%."""
+        ratio = mean_ratio(cg.cache_table_page, lzrw1)
+        assert 0.25 < ratio < 0.40
+
+    def test_incompressible_never_compresses(self, lzrw1):
+        for i in range(10):
+            assert lzrw1.compress(cg.incompressible(i)).stored_raw
+
+    def test_random_text_misses_threshold(self, lzrw1):
+        """Table 1 sort random: ~98% of pages compress less than 4:3."""
+        dictionary = cg.make_dictionary()
+        over = sum(
+            lzrw1.compress(cg.text_page_random(i, dictionary)).ratio > 0.75
+            for i in range(30)
+        )
+        assert over >= 28
+
+    def test_clustered_text_roughly_3_to_1(self, lzrw1):
+        """Table 1 sort partial: kept pages compress to ~30%."""
+        dictionary = cg.make_dictionary()
+        ratio = mean_ratio(
+            lambda i: cg.text_page_clustered(i, dictionary,
+                                             cluster_words=30),
+            lzrw1,
+        )
+        assert 0.2 < ratio < 0.4
+
+    def test_index_pages_slightly_worse_than_2_to_1(self, lzrw1):
+        """Table 1 gold: 'compresses slightly worse than 2:1' with a
+        tail of pages missing the threshold."""
+        ratios = [
+            lzrw1.compress(cg.index_page(i)).ratio for i in range(60)
+        ]
+        kept = [r for r in ratios if r <= 0.75]
+        assert kept, "some index pages must compress"
+        assert 0.45 < statistics.mean(kept) < 0.70
+        over = sum(r > 0.75 for r in ratios) / len(ratios)
+        assert 0.0 < over < 0.5
+
+
+class TestDictionary:
+    def test_words_unique(self):
+        words = cg.make_dictionary(nwords=500)
+        assert len(set(words)) == 500
+
+    def test_word_lengths(self):
+        words = cg.make_dictionary(nwords=100, min_len=5, max_len=12)
+        assert all(5 <= len(w) <= 12 for w in words)
+
+    def test_repeating_pattern_validation(self):
+        with pytest.raises(ValueError):
+            cg.repeating_pattern(0, unique_bytes=0)
+        with pytest.raises(ValueError):
+            cg.repeating_pattern(0, unique_bytes=PAGE + 1)

@@ -1,0 +1,245 @@
+"""The five paper applications: stream shape and determinism."""
+
+import itertools
+
+import pytest
+
+from repro.mem.page import mbytes
+from repro.workloads import (
+    CacheSimWorkload,
+    CompareWorkload,
+    GoldWorkload,
+    SortWorkload,
+    SyntheticWorkload,
+    Thrasher,
+)
+
+
+class TestThrasher:
+    def test_cycles_linearly(self):
+        workload = Thrasher(8 * 4096, cycles=2, write=False)
+        workload.build()
+        numbers = [ref.page_id.number for ref in workload.references()]
+        assert numbers == list(range(8)) * 2
+
+    def test_rw_variant_mutates(self):
+        workload = Thrasher(4 * 4096, cycles=1, write=True)
+        workload.build()
+        refs = list(workload.references())
+        assert all(ref.write and ref.mutate is not None for ref in refs)
+
+    def test_ro_variant_reads(self):
+        workload = Thrasher(4 * 4096, cycles=1, write=False)
+        workload.build()
+        assert not any(ref.write for ref in workload.references())
+
+    def test_total_references(self):
+        workload = Thrasher(10 * 4096, cycles=3)
+        assert workload.total_references() == 30
+
+    def test_write_mutation_changes_one_word(self):
+        workload = Thrasher(2 * 4096, cycles=1, write=True)
+        workload.build()
+        ref = next(workload.references())
+        pte = workload.address_space.entry(ref.page_id)
+        before = pte.content.materialize()
+        ref.mutate(pte.content)
+        after = pte.content.materialize()
+        assert before != after
+        diffs = sum(a != b for a, b in zip(before, after))
+        assert diffs <= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Thrasher(0)
+        with pytest.raises(ValueError):
+            Thrasher(4096, cycles=0)
+
+
+class TestCompare:
+    def test_forward_then_backward(self):
+        workload = CompareWorkload(4 * 4096, round_trips=1)
+        workload.build()
+        numbers = [ref.page_id.number for ref in workload.references()]
+        # Forward fill interleaves previous-row reads; backward is reverse.
+        assert numbers[-4:] == [3, 2, 1, 0]
+        assert numbers[0] == 0
+
+    def test_fill_writes_traceback_reads(self):
+        workload = CompareWorkload(4 * 4096, round_trips=1)
+        workload.build()
+        refs = list(workload.references())
+        fill = refs[: len(refs) - 4]
+        traceback_refs = refs[-4:]
+        assert any(ref.write for ref in fill)
+        assert not any(ref.write for ref in traceback_refs)
+
+    def test_total_references_matches(self):
+        workload = CompareWorkload(6 * 4096, round_trips=2)
+        workload.build()
+        assert len(list(workload.references())) == workload.total_references()
+
+    def test_cell_compute_charged(self):
+        workload = CompareWorkload(2 * 4096, round_trips=1,
+                                   cell_seconds=1e-6)
+        workload.build()
+        writes = [ref for ref in workload.references() if ref.write]
+        assert all(ref.compute_seconds == pytest.approx(1024e-6)
+                   for ref in writes)
+
+
+class TestCacheSim:
+    def test_deterministic_stream(self):
+        a = CacheSimWorkload(mbytes(1), events=500, seed=4)
+        b = CacheSimWorkload(mbytes(1), events=500, seed=4)
+        a.build(), b.build()
+        assert (
+            [(r.page_id, r.write) for r in a.references()]
+            == [(r.page_id, r.write) for r in b.references()]
+        )
+
+    def test_hot_set_dominates(self):
+        workload = CacheSimWorkload(
+            mbytes(1), events=2000, hot_fraction=0.25, hot_probability=0.8
+        )
+        workload.build()
+        hot_pages = int(workload.npages * 0.25)
+        hot = sum(
+            1 for ref in workload.references()
+            if ref.page_id.number < hot_pages
+        )
+        total = len(list(workload.references()))
+        assert hot / total > 0.6
+
+    def test_miss_rate_controls_writes(self):
+        workload = CacheSimWorkload(mbytes(1), events=2000, miss_rate=0.0,
+                                    remote_rate=0.0)
+        workload.build()
+        assert not any(ref.write for ref in workload.references())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheSimWorkload(mbytes(1), events=0)
+        with pytest.raises(ValueError):
+            CacheSimWorkload(mbytes(1), events=10, hot_fraction=0.0)
+
+
+class TestSort:
+    def test_initial_load_then_partitions(self):
+        workload = SortWorkload(16 * 4096, partial=True,
+                                pointer_overhead=0.0)
+        workload.build()
+        numbers = [ref.page_id.number for ref in workload.references()]
+        assert numbers[:16] == list(range(16))  # sequential load
+        assert len(numbers) > 32  # recursion adds passes
+
+    def test_partition_touches_both_ends(self):
+        workload = SortWorkload(16 * 4096, partial=True,
+                                pointer_overhead=0.0)
+        workload.build()
+        numbers = [ref.page_id.number for ref in workload.references()]
+        after_load = numbers[16:]
+        assert after_load[0] == 0
+        assert after_load[1] == 15  # two-pointer sweep
+
+    def test_variant_names(self):
+        assert SortWorkload(4096, partial=True).name == "sort_partial"
+        assert SortWorkload(4096, partial=False).name == "sort_random"
+
+    def test_compressible_fraction_defaults(self):
+        assert SortWorkload(4096, partial=True).compressible_fraction == 0.51
+        assert SortWorkload(4096, partial=False).compressible_fraction == 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SortWorkload(0, partial=True)
+        with pytest.raises(ValueError):
+            SortWorkload(4096, partial=True, compressible_fraction=2.0)
+
+
+class TestGold:
+    def test_modes(self):
+        for mode in GoldWorkload.MODES:
+            workload = GoldWorkload(mode, mbytes(1), operations=10)
+            workload.build()
+            assert len(list(workload.references())) > 0
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            GoldWorkload("hot", mbytes(1), operations=10)
+
+    def test_create_is_write_heavy(self):
+        """'It has a high degree of write accesses' — appends dominate,
+        with chain-walk reads mixed in."""
+        workload = GoldWorkload("create", mbytes(1), operations=100)
+        workload.build()
+        refs = list(workload.references())
+        writes = sum(ref.write for ref in refs)
+        assert writes / len(refs) > 0.6
+
+    def test_warm_is_read_mostly(self):
+        workload = GoldWorkload("warm", mbytes(1), operations=100)
+        workload.build()
+        refs = list(workload.references())
+        writes = sum(ref.write for ref in refs)
+        assert writes / len(refs) < 0.1
+
+    def test_cold_setup_touches_index(self):
+        workload = GoldWorkload("cold", mbytes(1), operations=10)
+        setup = list(workload.setup_references())
+        assert len(setup) == workload.index_pages
+
+    def test_warm_setup_includes_query_pass(self):
+        cold = GoldWorkload("cold", mbytes(1), operations=10)
+        warm = GoldWorkload("warm", mbytes(1), operations=10)
+        assert (
+            len(list(warm.setup_references()))
+            > len(list(cold.setup_references()))
+        )
+
+    def test_create_has_no_setup(self):
+        workload = GoldWorkload("create", mbytes(1), operations=10)
+        assert list(workload.setup_references()) == []
+
+
+class TestSynthetic:
+    def test_sequential_mode(self):
+        workload = SyntheticWorkload(4 * 4096, references=8,
+                                     sequential=True, write_fraction=0.0)
+        workload.build()
+        numbers = [ref.page_id.number for ref in workload.references()]
+        assert numbers == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_reference_count_exact(self):
+        workload = SyntheticWorkload(mbytes(1), references=123)
+        workload.build()
+        assert len(list(workload.references())) == 123
+        assert workload.total_references() == 123
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload(0, references=1)
+        with pytest.raises(ValueError):
+            SyntheticWorkload(4096, references=1, write_fraction=1.5)
+
+
+class TestBase:
+    def test_build_idempotent(self):
+        workload = Thrasher(4 * 4096)
+        assert workload.build() is workload.build()
+
+    def test_address_space_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            Thrasher(4 * 4096).address_space
+
+    def test_compute_seconds_per_ref_applied(self):
+        workload = Thrasher(2 * 4096, cycles=1, write=False)
+        workload.compute_seconds_per_ref = 0.5
+        workload.build()
+        refs = list(workload.references())
+        assert all(ref.compute_seconds == 0.5 for ref in refs)
+
+    def test_reference_count_helper(self):
+        workload = Thrasher(3 * 4096, cycles=2)
+        workload.build()
+        assert workload.reference_count() == 6
