@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Measure compressor MB/s and end-to-end sim pages/s; record the trajectory.
+
+Thin runnable wrapper around :mod:`repro.perf` (also reachable as the
+``perf`` subcommand of the package CLI).  Typical invocations, from the
+repository root::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py
+    PYTHONPATH=src python benchmarks/perf_harness.py --quick --skip-sim \\
+        --check benchmarks/perf_baseline.json
+
+The first writes ``BENCH_compression.json`` and ``BENCH_sim.json`` at the
+repository root; the second is the CI smoke configuration, failing when
+the optimized-kernel speedup ratio falls below 80% of the committed
+baseline (ratios of two kernels timed in the same process are
+machine-independent, unlike absolute MB/s).
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf import run_harness  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus and fewer reps (CI smoke)")
+    parser.add_argument("--skip-sim", action="store_true",
+                        help="kernel throughput only")
+    parser.add_argument("--out-dir", type=Path, default=REPO_ROOT,
+                        help="where BENCH_*.json are written")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="baseline JSON; exit 1 on speedup regression")
+    args = parser.parse_args(argv)
+    return run_harness(args.out_dir, quick=args.quick, check=args.check,
+                       skip_sim=args.skip_sim)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

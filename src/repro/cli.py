@@ -6,6 +6,7 @@ Usage::
     compression-cache figure3 [--scale 0.2] [--mode rw|ro|both]
     compression-cache table1 [--scale 0.2] [--rows compare,isca]
     compression-cache demo   [--scale 0.2]
+    compression-cache perf   [--quick] [--skip-sim] [--check baseline.json]
     compression-cache inspect [--scale 0.1]
     compression-cache trace-record --workload compare --out t.trace
     compression-cache trace-analyze t.trace [--frames 64,256]
@@ -126,6 +127,20 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """Kernel-throughput and sim-rate benchmarks (BENCH_*.json)."""
+    from pathlib import Path
+
+    from .perf import run_harness
+
+    return run_harness(
+        Path(args.out_dir),
+        quick=args.quick,
+        check=Path(args.check) if args.check else None,
+        skip_sim=args.skip_sim,
+    )
+
+
 def _cmd_trace_record(args: argparse.Namespace) -> int:
     """Record a named workload's reference trace to a file."""
     from .sim.trace import Trace
@@ -199,6 +214,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect.add_argument("--scale", type=float, default=0.1)
 
+    perf = sub.add_parser(
+        "perf", help="compressor MB/s and sim pages/s benchmarks"
+    )
+    perf.add_argument("--quick", action="store_true",
+                      help="smaller corpus and fewer reps (CI smoke)")
+    perf.add_argument("--skip-sim", action="store_true",
+                      help="kernel throughput only")
+    perf.add_argument("--out-dir", default=".",
+                      help="directory for BENCH_*.json")
+    perf.add_argument("--check", default="",
+                      help="baseline JSON; exit 1 on speedup regression")
+
     record = sub.add_parser(
         "trace-record", help="record a workload's reference trace"
     )
@@ -222,6 +249,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "demo": _cmd_demo,
     "inspect": _cmd_inspect,
+    "perf": _cmd_perf,
     "trace-record": _cmd_trace_record,
     "trace-analyze": _cmd_trace_analyze,
 }

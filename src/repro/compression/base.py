@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Tuple
 
 
 class CompressionError(Exception):
@@ -91,6 +91,18 @@ class Compressor(ABC):
         Raises:
             CorruptDataError: if ``result`` does not decode cleanly.
         """
+
+    def compress_many(self, pages: Iterable[bytes]) -> List[CompressionResult]:
+        """Compress a batch of buffers in one call.
+
+        The default implementation simply loops; kernels with reusable
+        scratch state (LZRW1's hash table, LZSS's chains) amortize their
+        setup across the batch automatically because the scratch lives on
+        the instance.  Samplers and sweeps should prefer this entry point
+        for bulk measurement.
+        """
+        compress = self.compress
+        return [compress(page) for page in pages]
 
     def compress_verified(self, data: bytes) -> CompressionResult:
         """Compress and immediately verify the round trip.

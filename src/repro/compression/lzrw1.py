@@ -25,17 +25,84 @@ Stored format produced by :meth:`Lzrw1.compress`:
 * when compression would expand the data the result is stored raw and
   flagged via :attr:`CompressionResult.stored_raw` (Williams's
   ``FLAG_COPY`` word serves the same purpose in the C code).
+
+The encoder here is a CPython-optimized rewrite of the seed
+implementation (kept verbatim in :mod:`repro.compression._seed_reference`)
+and produces **bit-identical output**, enforced by
+``tests/compression/test_golden_kernels.py``.  The speed tricks:
+
+* three-byte hashes for the whole page are precomputed in one vectorized
+  numpy pass (``_make_hashes``) instead of being evaluated per position in
+  the interpreter;
+* the hash table persists across calls and is never re-initialized: a
+  parallel ``stamp`` list holds the epoch in which each slot was last
+  written, so a slot is valid exactly when its stamp equals the current
+  call's epoch.  Both lists store plain loop-local ints, which makes every
+  slot update a pointer store with no integer allocation;
+* when the stamp is already current it is *not* rewritten — the common
+  candidate-hit path does one store, not two;
+* match extension compares the two candidate windows with a single
+  C-level slice comparison; only on a mismatch does it locate the first
+  differing byte via an XOR/lowest-set-bit trick (little-endian
+  ``int.from_bytes``, so the lowest set byte is the mismatch position);
+* literal runs are emitted with one slice append per run (tracked via
+  ``lit_start``) rather than one ``append`` per byte, and the group flush
+  is detected by position (``flush_i``) so the literal path carries no
+  per-item counter.
 """
 
 from __future__ import annotations
 
+from typing import Iterable, List
+
 from .base import CompressionResult, Compressor, CorruptDataError, register
+
+try:  # numpy is a hard dependency of the repo, but keep a scalar fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the project
+    _np = None
 
 _MAX_OFFSET = 4095
 _MIN_MATCH = 3
 _MAX_MATCH = 18
 _GROUP = 16
-_HASH_MULTIPLIER = 40543  # Williams's constant
+#: Williams's multiplicative-hash constant.  The hash of the three bytes
+#: ``b0 b1 b2`` is ``((40543 * (((b0 << 8) ^ (b1 << 4) ^ b2) & 0xFFFF)) >> 4)``
+#: masked to the table size — defined once here; :func:`_make_hashes` and the
+#: scalar fallback below are the only implementations.
+_HASH_MULTIPLIER = 40543
+
+#: Below this input size the numpy round trip costs more than it saves.
+_VECTOR_THRESHOLD = 256
+
+#: Single-bit masks for the 16 control-word positions (index 16 - cap).
+_BITS = [1 << k for k in range(_GROUP + 1)]
+
+
+def _make_hashes(data: bytes, n: int, mask: int) -> List[int]:
+    """Hash of every 3-byte window of ``data``, as a plain list.
+
+    Index ``i`` holds the hash of ``data[i:i+3]``; the list has ``n - 2``
+    entries.  Only called with ``n >= _MIN_MATCH``.
+    """
+    if _np is not None and n >= _VECTOR_THRESHOLD:
+        d = _np.frombuffer(data, _np.uint8)
+        k = d[:-2].astype(_np.uint32)
+        k <<= 4
+        k ^= d[1:-1]
+        k <<= 4
+        k ^= d[2:]
+        k &= 0xFFFF
+        k *= _HASH_MULTIPLIER
+        k >>= 4
+        k &= mask
+        return k.tolist()
+    mult = _HASH_MULTIPLIER
+    return [
+        ((mult * (((data[j] << 8) ^ (data[j + 1] << 4) ^ data[j + 2])
+                  & 0xFFFF)) >> 4) & mask
+        for j in range(n - 2)
+    ]
 
 
 @register("lzrw1")
@@ -53,7 +120,12 @@ class Lzrw1(Compressor):
             raise ValueError(f"table_bits out of range: {table_bits}")
         self.table_bits = table_bits
         self._table_size = 1 << table_bits
-        self._hash_shift = 0  # folded below via modular multiply + mask
+        # Reused across compress() calls; see the module docstring.  A slot
+        # holds a position, valid only when its stamp equals the current
+        # epoch, so neither list is ever re-initialized.
+        self._table = [0] * self._table_size
+        self._stamp = [0] * self._table_size
+        self._epoch = 0
 
     @property
     def hash_table_bytes(self) -> int:
@@ -61,6 +133,7 @@ class Lzrw1(Compressor):
         return 4 * self._table_size
 
     def _hash(self, b0: int, b1: int, b2: int) -> int:
+        """The 3-byte hash (reference form; the hot loop precomputes it)."""
         key = ((b0 << 8) ^ (b1 << 4) ^ b2) & 0xFFFF
         return ((_HASH_MULTIPLIER * key) >> 4) & (self._table_size - 1)
 
@@ -69,59 +142,118 @@ class Lzrw1(Compressor):
         if n < _MIN_MATCH + 1:
             return CompressionResult(bytes(data), n, stored_raw=True)
 
-        table = [-1] * self._table_size
+        self._epoch = epoch = self._epoch + 1
+        table = self._table
+        stamp = self._stamp
+        hashes = _make_hashes(data, n, self._table_size - 1)
+        from_bytes = int.from_bytes
+        bits = _BITS
+
         out = bytearray()
         items = bytearray()
+        items_append = items.append
+        out_append = out.append
         control = 0
-        nitems = 0
         i = 0
+        lit_start = 0          # first literal byte not yet copied to items
+        flush_i = _GROUP       # input position at which the group fills
         limit = n - _MIN_MATCH
-        raw_threshold = n  # abandon if output can no longer beat raw
 
-        while i < n:
-            emitted_copy = False
-            if i <= limit:
-                b0, b1, b2 = data[i], data[i + 1], data[i + 2]
-                h = self._hash(b0, b1, b2)
+        while i <= limit:
+            h = hashes[i]
+            if stamp[h] == epoch:
                 cand = table[h]
                 table[h] = i
-                if cand >= 0 and 0 < i - cand <= _MAX_OFFSET:
-                    max_len = min(_MAX_MATCH, n - i)
-                    length = 0
-                    while (
-                        length < max_len
-                        and data[cand + length] == data[i + length]
-                    ):
-                        length += 1
+                if data[cand] == data[i] and i - cand <= _MAX_OFFSET:
+                    max_len = n - i
+                    if max_len > _MAX_MATCH:
+                        max_len = _MAX_MATCH
+                    a = data[cand:cand + max_len]
+                    b = data[i:i + max_len]
+                    if a == b:
+                        length = max_len
+                    else:
+                        x = from_bytes(a, "little") ^ from_bytes(b, "little")
+                        length = ((x & -x).bit_length() - 1) >> 3
                     if length >= _MIN_MATCH:
                         offset = i - cand
-                        items.append(((length - _MIN_MATCH) << 4) | (offset >> 8))
-                        items.append(offset & 0xFF)
-                        control |= 1 << nitems
+                        if lit_start != i:
+                            items += data[lit_start:i]
+                        items_append(
+                            ((length - _MIN_MATCH) << 4) | (offset >> 8)
+                        )
+                        items_append(offset & 0xFF)
+                        cap = flush_i - i       # group slots left before this
+                        control |= bits[_GROUP - cap]
+                        cap -= 1
                         i += length
-                        emitted_copy = True
-            if not emitted_copy:
-                items.append(data[i])
-                i += 1
-            nitems += 1
-            if nitems == _GROUP:
-                out.append(control & 0xFF)
-                out.append(control >> 8)
-                out += items
-                items.clear()
-                control = 0
-                nitems = 0
-                if len(out) >= raw_threshold:
+                        lit_start = i
+                        if cap == 0:
+                            out_append(control & 0xFF)
+                            out_append(control >> 8)
+                            out += items
+                            del items[:]
+                            control = 0
+                            if len(out) >= n:   # cannot beat raw any more
+                                return CompressionResult(
+                                    bytes(data), n, stored_raw=True
+                                )
+                            flush_i = i + _GROUP
+                        else:
+                            flush_i = i + cap
+                        continue
+            else:
+                stamp[h] = epoch
+                table[h] = i
+            i += 1
+            if i == flush_i:
+                if control:
+                    items += data[lit_start:i]
+                    out_append(control & 0xFF)
+                    out_append(control >> 8)
+                    out += items
+                    del items[:]
+                    control = 0
+                else:           # all-literal group: two zero control bytes
+                    out += b"\x00\x00"
+                    out += data[lit_start:i]
+                lit_start = i
+                if len(out) >= n:
                     return CompressionResult(bytes(data), n, stored_raw=True)
+                flush_i = i + _GROUP
 
-        if nitems:
-            out.append(control & 0xFF)
-            out.append(control >> 8)
+        while i < n:            # tail: last 1-3 bytes are always literals
+            i += 1
+            if i == flush_i:
+                if control:
+                    items += data[lit_start:i]
+                    out_append(control & 0xFF)
+                    out_append(control >> 8)
+                    out += items
+                    del items[:]
+                    control = 0
+                else:
+                    out += b"\x00\x00"
+                    out += data[lit_start:i]
+                lit_start = i
+                if len(out) >= n:
+                    return CompressionResult(bytes(data), n, stored_raw=True)
+                flush_i = i + _GROUP
+
+        if flush_i - n < _GROUP:    # partial final group pending
+            items += data[lit_start:n]
+            out_append(control & 0xFF)
+            out_append(control >> 8)
             out += items
 
         if len(out) >= n:
             return CompressionResult(bytes(data), n, stored_raw=True)
         return CompressionResult(bytes(out), n)
+
+    def compress_many(self, pages: Iterable[bytes]) -> List[CompressionResult]:
+        # The hash table and stamps persist on the instance, so the batch
+        # loop amortizes all scratch setup; present for call-site clarity.
+        return super().compress_many(pages)
 
     def decompress(self, result: CompressionResult) -> bytes:
         if result.stored_raw:
@@ -131,13 +263,25 @@ class Lzrw1(Compressor):
         out = bytearray()
         i = 0
         end = len(payload)
-        while i < end and len(out) < want:
+        olen = 0
+        while i < end and olen < want:
             if i + 2 > end:
                 raise CorruptDataError("lzrw1: truncated control word")
             control = payload[i] | (payload[i + 1] << 8)
             i += 2
+            if control == 0:
+                # All sixteen items are literals: one slice copy.
+                take = _GROUP
+                if take > end - i:
+                    take = end - i
+                if take > want - olen:
+                    take = want - olen
+                out += payload[i:i + take]
+                i += take
+                olen += take
+                continue
             for bit in range(_GROUP):
-                if i >= end or len(out) >= want:
+                if i >= end or olen >= want:
                     break
                 if (control >> bit) & 1:
                     if i + 2 > end:
@@ -147,19 +291,26 @@ class Lzrw1(Compressor):
                     i += 2
                     length = (b0 >> 4) + _MIN_MATCH
                     offset = ((b0 & 0x0F) << 8) | b1
-                    if offset == 0 or offset > len(out):
+                    if offset == 0 or offset > olen:
                         raise CorruptDataError(
                             f"lzrw1: bad copy offset {offset} at output "
-                            f"position {len(out)}"
+                            f"position {olen}"
                         )
-                    start = len(out) - offset
-                    for k in range(length):  # may self-overlap; copy bytewise
-                        out.append(out[start + k])
+                    start = olen - offset
+                    if offset >= length:
+                        out += out[start:start + length]
+                    elif offset == 1:
+                        out += out[start:] * length
+                    else:
+                        for k in range(length):  # self-overlapping copy
+                            out.append(out[start + k])
+                    olen += length
                 else:
                     out.append(payload[i])
                     i += 1
-        if len(out) != want:
+                    olen += 1
+        if olen != want:
             raise CorruptDataError(
-                f"lzrw1: decoded {len(out)} bytes, expected {want}"
+                f"lzrw1: decoded {olen} bytes, expected {want}"
             )
         return bytes(out)

@@ -12,11 +12,27 @@ Relative to :class:`repro.compression.lzrw1.Lzrw1` it produces strictly
 smaller-or-equal output on virtually all inputs at several times the CPU
 cost, which is exactly the trade-off the paper's asymmetric/off-line
 discussion (Taunton, Atkinson et al.) is about.
+
+Like LZRW1, the encoder is a CPython-optimized rewrite of the seed
+implementation (frozen in :mod:`repro.compression._seed_reference`) with
+**bit-identical output**, enforced by
+``tests/compression/test_golden_kernels.py``.  The search and insert
+helpers are inlined into :meth:`Lzss.compress` with every hot name bound
+to a local; three-byte hashes are precomputed in one vectorized pass; the
+head table persists across calls behind an epoch stamp; and candidate
+extension uses one C-level slice comparison plus an XOR trick to locate
+the first differing byte.  The candidate-selection semantics (chain
+order, depth budget, strict-improvement updates, early break on a
+full-length match, one-byte lazy deferral) are exactly the seed's: the
+per-candidate first-byte guard only skips extensions that provably
+cannot beat the current best, so the chosen (length, offset) never
+changes.
 """
 
 from __future__ import annotations
 
 from .base import CompressionResult, Compressor, CorruptDataError, register
+from .lzrw1 import _make_hashes
 
 _MAX_OFFSET = 4095
 _MIN_MATCH = 3
@@ -41,31 +57,50 @@ class Lzss(Compressor):
             raise ValueError("chain_depth must be >= 1")
         self.chain_depth = chain_depth
         self.lazy = lazy
+        # Reused across calls: 12-bit hash heads behind an epoch stamp
+        # (never re-initialized) and a per-position chain buffer grown on
+        # demand (entries are only read after being written in the same
+        # call, so it needs no clearing either).
+        self._heads = [0] * 4096
+        self._stamp = [0] * 4096
+        self._chains = [0] * 4096
+        self._epoch = 0
 
     @staticmethod
     def _hash(b0: int, b1: int, b2: int) -> int:
+        """The 3-byte hash (reference form; compress() precomputes it)."""
         key = ((b0 << 8) ^ (b1 << 4) ^ b2) & 0xFFFF
         return ((_HASH_MULTIPLIER * key) >> 4) & 0xFFF
 
-    def _find_match(self, data: bytes, i: int, heads, chains) -> tuple:
-        """Return (length, offset) of the best match at ``i`` (0,0 if none)."""
+    def _best_match(self, data, i, hashes, heads, chains, stamp, epoch):
+        """Reference-shaped search used only by the slow paths/tests.
+
+        The hot loop in :meth:`compress` inlines this logic; keep the two
+        in sync.  Returns ``(length, offset)``, ``(0, 0)`` when no match
+        of at least ``_MIN_MATCH`` bytes exists.
+        """
         n = len(data)
         if i + _MIN_MATCH > n:
             return 0, 0
-        h = self._hash(data[i], data[i + 1], data[i + 2])
-        cand = heads[h]
+        h = hashes[i]
+        cand = heads[h] if stamp[h] == epoch else -1
         best_len = 0
         best_off = 0
         depth = self.chain_depth
-        max_len = min(_MAX_MATCH, n - i)
+        max_len = _MAX_MATCH if n - i > _MAX_MATCH else n - i
+        b = data[i:i + max_len]
+        from_bytes = int.from_bytes
         while cand >= 0 and depth > 0:
             off = i - cand
             if off > _MAX_OFFSET:
                 break
             if off > 0 and data[cand + best_len] == data[i + best_len]:
-                length = 0
-                while length < max_len and data[cand + length] == data[i + length]:
-                    length += 1
+                a = data[cand:cand + max_len]
+                if a == b:
+                    length = max_len
+                else:
+                    x = from_bytes(a, "little") ^ from_bytes(b, "little")
+                    length = ((x & -x).bit_length() - 1) >> 3
                 if length > best_len:
                     best_len = length
                     best_off = off
@@ -77,41 +112,111 @@ class Lzss(Compressor):
             return 0, 0
         return best_len, best_off
 
-    def _insert(self, data: bytes, i: int, heads, chains) -> None:
-        if i + _MIN_MATCH <= len(data):
-            h = self._hash(data[i], data[i + 1], data[i + 2])
-            chains[i] = heads[h]
-            heads[h] = i
-
     def compress(self, data: bytes) -> CompressionResult:
         n = len(data)
         if n < _MIN_MATCH + 1:
             return CompressionResult(bytes(data), n, stored_raw=True)
 
-        heads = [-1] * 4096
-        chains = [-1] * n
+        self._epoch = epoch = self._epoch + 1
+        heads = self._heads
+        stamp = self._stamp
+        if len(self._chains) < n:
+            self._chains = [0] * n
+        chains = self._chains
+        hashes = _make_hashes(data, n, 0xFFF)
+        from_bytes = int.from_bytes
+        lazy = self.lazy
+        chain_depth = self.chain_depth
+
         out = bytearray()
         items = bytearray()
+        items_append = items.append
+        out_append = out.append
         control = 0
         nitems = 0
         i = 0
+        limit = n - _MIN_MATCH   # last position with a full trigram
 
         while i < n:
-            length, offset = self._find_match(data, i, heads, chains)
-            if self.lazy and _MIN_MATCH <= length < _MAX_MATCH and i + 1 < n:
+            # --- find the best match at i (inlined _best_match) ---
+            length = 0
+            offset = 0
+            if i <= limit:
+                h = hashes[i]
+                cand = heads[h] if stamp[h] == epoch else -1
+                if cand >= 0:
+                    depth = chain_depth
+                    max_len = _MAX_MATCH if n - i > _MAX_MATCH else n - i
+                    b = data[i:i + max_len]
+                    while True:
+                        off = i - cand
+                        if off > _MAX_OFFSET:
+                            break
+                        if off > 0 and data[cand + length] == data[i + length]:
+                            a = data[cand:cand + max_len]
+                            if a == b:
+                                length = max_len
+                                offset = off
+                                break
+                            x = from_bytes(a, "little") ^ from_bytes(b, "little")
+                            cl = ((x & -x).bit_length() - 1) >> 3
+                            if cl > length:
+                                length = cl
+                                offset = off
+                        cand = chains[cand]
+                        depth -= 1
+                        if cand < 0 or depth == 0:
+                            break
+                if length < _MIN_MATCH:
+                    length = 0
+                    offset = 0
+
+            if lazy and _MIN_MATCH <= length < _MAX_MATCH and i + 1 < n:
                 # Peek one byte ahead; if the next position matches longer,
                 # emit a literal now and take the longer match next round.
-                self._insert(data, i, heads, chains)
-                nlength, _ = self._find_match(data, i + 1, heads, chains)
+                h = hashes[i]
+                if stamp[h] == epoch:
+                    chains[i] = heads[h]
+                else:
+                    chains[i] = -1
+                    stamp[h] = epoch
+                heads[h] = i
+                # --- probe match at i + 1 (length only) ---
+                nlength = 0
+                j = i + 1
+                if j <= limit:
+                    h = hashes[j]
+                    cand = heads[h] if stamp[h] == epoch else -1
+                    if cand >= 0:
+                        depth = chain_depth
+                        max_len = _MAX_MATCH if n - j > _MAX_MATCH else n - j
+                        b = data[j:j + max_len]
+                        while True:
+                            off = j - cand
+                            if off > _MAX_OFFSET:
+                                break
+                            if off > 0 and data[cand + nlength] == data[j + nlength]:
+                                a = data[cand:cand + max_len]
+                                if a == b:
+                                    nlength = max_len
+                                    break
+                                x = from_bytes(a, "little") ^ from_bytes(b, "little")
+                                cl = ((x & -x).bit_length() - 1) >> 3
+                                if cl > nlength:
+                                    nlength = cl
+                            cand = chains[cand]
+                            depth -= 1
+                            if cand < 0 or depth == 0:
+                                break
                 if nlength > length:
-                    items.append(data[i])
+                    items_append(data[i])
                     i += 1
                     nitems += 1
                     if nitems == _GROUP:
-                        out.append(control & 0xFF)
-                        out.append(control >> 8)
+                        out_append(control & 0xFF)
+                        out_append(control >> 8)
                         out += items
-                        items.clear()
+                        del items[:]
                         control = 0
                         nitems = 0
                     continue
@@ -119,33 +224,48 @@ class Lzss(Compressor):
             else:
                 inserted = False
 
-            if length >= _MIN_MATCH:
-                items.append(((length - _MIN_MATCH) << 4) | (offset >> 8))
-                items.append(offset & 0xFF)
+            if length:
+                items_append(((length - _MIN_MATCH) << 4) | (offset >> 8))
+                items_append(offset & 0xFF)
                 control |= 1 << nitems
-                start = i if inserted else i
-                if not inserted:
-                    self._insert(data, i, heads, chains)
-                for j in range(start + 1, i + length):
-                    self._insert(data, j, heads, chains)
+                start = i if inserted else i - 1
+                # Insert i (unless the lazy probe already did) and every
+                # interior position of the match that still has a trigram.
+                stop = i + length
+                if stop > limit + 1:
+                    stop = limit + 1
+                for j in range(start + 1, stop):
+                    h = hashes[j]
+                    if stamp[h] == epoch:
+                        chains[j] = heads[h]
+                    else:
+                        chains[j] = -1
+                        stamp[h] = epoch
+                    heads[h] = j
                 i += length
             else:
-                if not inserted:
-                    self._insert(data, i, heads, chains)
-                items.append(data[i])
+                if not inserted and i <= limit:
+                    h = hashes[i]
+                    if stamp[h] == epoch:
+                        chains[i] = heads[h]
+                    else:
+                        chains[i] = -1
+                        stamp[h] = epoch
+                    heads[h] = i
+                items_append(data[i])
                 i += 1
             nitems += 1
             if nitems == _GROUP:
-                out.append(control & 0xFF)
-                out.append(control >> 8)
+                out_append(control & 0xFF)
+                out_append(control >> 8)
                 out += items
-                items.clear()
+                del items[:]
                 control = 0
                 nitems = 0
 
         if nitems:
-            out.append(control & 0xFF)
-            out.append(control >> 8)
+            out_append(control & 0xFF)
+            out_append(control >> 8)
             out += items
 
         if len(out) >= n:
@@ -160,13 +280,25 @@ class Lzss(Compressor):
         out = bytearray()
         i = 0
         end = len(payload)
-        while i < end and len(out) < want:
+        olen = 0
+        while i < end and olen < want:
             if i + 2 > end:
                 raise CorruptDataError("lzss: truncated control word")
             control = payload[i] | (payload[i + 1] << 8)
             i += 2
+            if control == 0:
+                # All sixteen items are literals: one slice copy.
+                take = _GROUP
+                if take > end - i:
+                    take = end - i
+                if take > want - olen:
+                    take = want - olen
+                out += payload[i:i + take]
+                i += take
+                olen += take
+                continue
             for bit in range(_GROUP):
-                if i >= end or len(out) >= want:
+                if i >= end or olen >= want:
                     break
                 if (control >> bit) & 1:
                     if i + 2 > end:
@@ -176,18 +308,25 @@ class Lzss(Compressor):
                     i += 2
                     length = (b0 >> 4) + _MIN_MATCH
                     offset = ((b0 & 0x0F) << 8) | b1
-                    if offset == 0 or offset > len(out):
+                    if offset == 0 or offset > olen:
                         raise CorruptDataError(
                             f"lzss: bad copy offset {offset}"
                         )
-                    start = len(out) - offset
-                    for k in range(length):
-                        out.append(out[start + k])
+                    start = olen - offset
+                    if offset >= length:
+                        out += out[start:start + length]
+                    elif offset == 1:
+                        out += out[start:] * length
+                    else:
+                        for k in range(length):  # self-overlapping copy
+                            out.append(out[start + k])
+                    olen += length
                 else:
                     out.append(payload[i])
                     i += 1
-        if len(out) != want:
+                    olen += 1
+        if olen != want:
             raise CorruptDataError(
-                f"lzss: decoded {len(out)} bytes, expected {want}"
+                f"lzss: decoded {olen} bytes, expected {want}"
             )
         return bytes(out)

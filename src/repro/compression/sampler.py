@@ -11,17 +11,26 @@ Two modes:
 
 * ``exact`` — every request runs the real compressor (no memo).  Used by
   the validation tests that prove the memoized mode agrees with reality.
-* ``memo`` (default) — results are cached by a fast fingerprint of the
+* ``memo`` (default) — results are cached by a fingerprint of the
   content bytes.  The cache is bounded; eviction is FIFO, which is safe
   because entries are pure functions of the content.
+
+Call sites that only need the stored *size* (ratio bookkeeping, threshold
+checks, reports) should use :meth:`CompressionSampler.compressed_size` —
+it is satisfied by either cache and never forces payload retention.  The
+pageout paths that must hand real payload bytes to the compression cache
+use :meth:`CompressionSampler.compress`.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
-from typing import Optional
+from typing import Iterable, List, Optional
 
 from .base import CompressionResult, Compressor
+
+_blake2b = hashlib.blake2b
 
 
 class CompressionSampler:
@@ -49,15 +58,24 @@ class CompressionSampler:
         self.exact = exact
         self.max_entries = max_entries
         self.keep_payloads = keep_payloads
-        self._size_cache: "OrderedDict[int, int]" = OrderedDict()
-        self._payload_cache: "OrderedDict[int, CompressionResult]" = OrderedDict()
+        self._size_cache: "OrderedDict[object, int]" = OrderedDict()
+        self._payload_cache: "OrderedDict[object, CompressionResult]" = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
 
     @staticmethod
-    def fingerprint(data: bytes) -> int:
-        """Cheap stable fingerprint of page content."""
-        return hash(data)
+    def fingerprint(data: bytes) -> bytes:
+        """Stable content fingerprint.
+
+        A keyed-at-zero BLAKE2b digest: stable across interpreter runs
+        (builtin ``hash`` is randomized by ``PYTHONHASHSEED``) and wide
+        enough (128 bits) that collisions are out of reach even at the
+        memo's full 65536-entry capacity, where a 32-bit checksum such as
+        ``zlib.crc32`` would already be odds-on to alias two pages.
+        """
+        return _blake2b(data, digest_size=16).digest()
 
     def _cache_key(self, data: bytes, stable_key: Optional[str]):
         if stable_key is not None:
@@ -65,11 +83,16 @@ class CompressionSampler:
             # the page's compressibility class; one measurement stands in
             # for all versions of the page.
             return stable_key
-        return self.fingerprint(data)
+        return _blake2b(data, digest_size=16).digest()
 
     def compressed_size(self, data: bytes,
                         stable_key: Optional[str] = None) -> int:
-        """Size in bytes ``data`` occupies after compression."""
+        """Size in bytes ``data`` occupies after compression.
+
+        The size-only fast path: answered from the size memo (or the
+        payload memo) without touching the compressor whenever this
+        content has been measured before.
+        """
         if self.exact:
             self.misses += 1
             return self.compressor.compress(data).compressed_size
@@ -99,7 +122,11 @@ class CompressionSampler:
         self._remember(key, result)
         return result
 
-    def _remember(self, key: int, result: CompressionResult) -> None:
+    def compress_many(self, pages: Iterable[bytes]) -> List[CompressionResult]:
+        """Batch variant of :meth:`compress` (one memo probe per page)."""
+        return [self.compress(page) for page in pages]
+
+    def _remember(self, key, result: CompressionResult) -> None:
         self._size_cache[key] = result.compressed_size
         while len(self._size_cache) > self.max_entries:
             self._size_cache.popitem(last=False)

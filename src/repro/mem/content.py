@@ -6,9 +6,12 @@ barely compresses at all, and ``gold``'s index is in between.  To reproduce
 that, every simulated page carries genuine bytes, and the compression
 subsystem measures them with the real algorithm.
 
-Pages are written far more often than they are compressed, so contents use
-a copy-on-write overlay: word stores go into a small dict and are folded
-into the backing bytes only when someone asks for the materialized page.
+Pages are written far more often than they are compressed.  Stores go
+directly into a persistent per-page ``bytearray`` (created lazily on the
+first write, so untouched pages share the interned zero page), and
+:meth:`PageContent.materialize` just snapshots that buffer into an
+immutable ``bytes`` — cached until the next store, so repeated reads
+between writes return the same object without copying.
 """
 
 from __future__ import annotations
@@ -17,6 +20,9 @@ import struct
 from typing import Dict, Optional
 
 from .page import DEFAULT_PAGE_SIZE, WORD_SIZE
+
+_pack_into = struct.pack_into
+_unpack_from = struct.unpack_from
 
 _ZERO_PAGES: Dict[int, bytes] = {}
 
@@ -40,8 +46,7 @@ class PageContent:
     """
 
     __slots__ = (
-        "_base",
-        "_overlay",
+        "_buf",
         "_materialized",
         "version",
         "page_size",
@@ -56,9 +61,12 @@ class PageContent:
                 f"got {len(data)}"
             )
         self.page_size = page_size
-        self._base = data if data is not None else zero_page(page_size)
-        self._overlay: Dict[int, int] = {}
-        self._materialized: Optional[bytes] = self._base
+        # _buf is the mutable store target, created on first write; until
+        # then _materialized alone holds the (possibly shared) bytes.
+        self._buf: Optional[bytearray] = None
+        self._materialized: Optional[bytes] = (
+            data if data is not None else zero_page(page_size)
+        )
         self.version = 0
         #: Optional compressibility memo key.  A workload may set this to
         #: declare that small in-place updates do not materially change
@@ -70,14 +78,10 @@ class PageContent:
 
     def materialize(self) -> bytes:
         """The page's current bytes, folding any pending word stores."""
-        if self._materialized is None:
-            buf = bytearray(self._base)
-            for offset, value in self._overlay.items():
-                struct.pack_into("<I", buf, offset, value)
-            self._base = bytes(buf)
-            self._overlay.clear()
-            self._materialized = self._base
-        return self._materialized
+        data = self._materialized
+        if data is None:
+            data = self._materialized = bytes(self._buf)
+        return data
 
     def replace(self, data: bytes) -> None:
         """Overwrite the whole page (e.g. a workload regenerating it)."""
@@ -86,8 +90,7 @@ class PageContent:
                 f"page content must be exactly {self.page_size} bytes, "
                 f"got {len(data)}"
             )
-        self._base = data
-        self._overlay.clear()
+        self._buf = None
         self._materialized = data
         self.version += 1
 
@@ -97,7 +100,10 @@ class PageContent:
             raise ValueError(f"word offset {offset} outside page")
         if offset % WORD_SIZE:
             raise ValueError(f"unaligned word offset {offset}")
-        self._overlay[offset] = value & 0xFFFFFFFF
+        buf = self._buf
+        if buf is None:
+            buf = self._buf = bytearray(self._materialized)
+        _pack_into("<I", buf, offset, value & 0xFFFFFFFF)
         self._materialized = None
         self.version += 1
 
@@ -107,10 +113,10 @@ class PageContent:
             raise ValueError(f"word offset {offset} outside page")
         if offset % WORD_SIZE:
             raise ValueError(f"unaligned word offset {offset}")
-        pending = self._overlay.get(offset)
-        if pending is not None:
-            return pending
-        return struct.unpack_from("<I", self._base, offset)[0]
+        buf = self._buf
+        if buf is not None:
+            return _unpack_from("<I", buf, offset)[0]
+        return _unpack_from("<I", self._materialized, offset)[0]
 
     def __len__(self) -> int:
         return self.page_size

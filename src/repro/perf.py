@@ -1,0 +1,245 @@
+"""Performance harness: compressor throughput and end-to-end sim rates.
+
+The repo's simulated results never depend on host wall-clock, but the
+*cost of running the reproduction* does, and this PR series tracks that
+trajectory.  This module measures two layers:
+
+* **kernel throughput** — MB/s of each optimized compressor next to the
+  frozen seed implementation (:mod:`repro.compression._seed_reference`),
+  per content kind and aggregated.  Because both kernels run in the same
+  process on the same pages, their ratio ("speedup") is largely
+  machine-independent, which is what CI regression checks compare.
+* **end-to-end simulation rate** — pages of reference stream processed
+  per second of host time for each named workload, with the full stack
+  (VM, pager, compression cache, sampler) engaged.
+
+Results are written as ``BENCH_compression.json`` and ``BENCH_sim.json``
+at the repository root; ``benchmarks/perf_baseline.json`` holds the
+committed speedup baselines the ``--check`` mode compares against.
+
+All timings are best-of-N (minimum over ``reps`` repetitions), the
+standard way to strip scheduler noise from CPU-bound microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .compression import create
+from .compression._seed_reference import SeedLzrw1, SeedLzss
+from .mem.page import DEFAULT_PAGE_SIZE, mbytes
+from .sim.engine import SimulationEngine
+from .sim.machine import Machine, MachineConfig
+from .workloads import contentgen
+
+#: Tolerated fraction of the committed baseline speedup before --check
+#: fails: ratios are stable across machines, but not to the last percent.
+CHECK_TOLERANCE = 0.8
+
+_perf_counter = time.perf_counter
+
+
+def _corpus_kinds(pages_per_kind: int,
+                  page_size: int = DEFAULT_PAGE_SIZE
+                  ) -> Dict[str, List[bytes]]:
+    """Representative pages per content kind (see contentgen docstrings)."""
+    dictionary = contentgen.make_dictionary()
+    idx = range(pages_per_kind)
+    return {
+        "tiled": [contentgen.repeating_pattern(i, page_size=page_size)
+                  for i in idx],
+        "dp": [contentgen.dp_band_values(i, page_size=page_size)
+               for i in idx],
+        "random": [contentgen.incompressible(i, page_size=page_size)
+                   for i in idx],
+        "index": [contentgen.index_page(i, page_size=page_size)
+                  for i in idx],
+        "ctab": [contentgen.cache_table_page(i, page_size=page_size)
+                 for i in idx],
+        "text": [contentgen.text_page_random(i, dictionary,
+                                             page_size=page_size)
+                 for i in idx],
+        "textc": [contentgen.text_page_clustered(i, dictionary,
+                                                 page_size=page_size)
+                  for i in idx],
+        "zeros": [bytes(page_size) for _ in idx],
+    }
+
+
+def _time_batch(compress: Callable[[bytes], object],
+                pages: Sequence[bytes], reps: int) -> float:
+    """Best-of-``reps`` seconds to compress every page once."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = _perf_counter()
+        for page in pages:
+            compress(page)
+        t = _perf_counter() - t0
+        if t < best:
+            best = t
+    return best
+
+
+def bench_compression(pages_per_kind: int = 16, reps: int = 5,
+                      page_size: int = DEFAULT_PAGE_SIZE) -> Dict:
+    """Throughput of the optimized kernels next to the frozen seed ones.
+
+    Returns the dict that becomes ``BENCH_compression.json``: per-kind
+    and aggregate MB/s for each algorithm, optimized ("new") and seed,
+    plus their ratio.  Seed and new run interleaved in the same process
+    so the speedups are apples-to-apples.
+    """
+    kinds = _corpus_kinds(pages_per_kind, page_size)
+    algorithms = {
+        "lzrw1": (create("lzrw1"), SeedLzrw1()),
+        "lzss": (create("lzss"), SeedLzss()),
+    }
+    result: Dict = {
+        "page_size": page_size,
+        "pages_per_kind": pages_per_kind,
+        "reps": reps,
+        "kinds": {},
+        "aggregate": {},
+    }
+    totals = {name: {"new": 0.0, "seed": 0.0}
+              for name in algorithms}
+    total_bytes = 0
+    for kind, pages in kinds.items():
+        nbytes = sum(len(p) for p in pages)
+        total_bytes += nbytes
+        row: Dict = {}
+        for name, (new, seed) in algorithms.items():
+            t_new = _time_batch(new.compress, pages, reps)
+            t_seed = _time_batch(seed.compress, pages, reps)
+            totals[name]["new"] += t_new
+            totals[name]["seed"] += t_seed
+            row[name] = {
+                "new_mb_s": round(nbytes / t_new / 1e6, 3),
+                "seed_mb_s": round(nbytes / t_seed / 1e6, 3),
+                "speedup": round(t_seed / t_new, 3),
+            }
+        result["kinds"][kind] = row
+    for name in algorithms:
+        t_new = totals[name]["new"]
+        t_seed = totals[name]["seed"]
+        kind_speedups = [result["kinds"][k][name]["speedup"]
+                         for k in result["kinds"]]
+        result["aggregate"][name] = {
+            "new_mb_s": round(total_bytes / t_new / 1e6, 3),
+            "seed_mb_s": round(total_bytes / t_seed / 1e6, 3),
+            # total-time ratio: time-weighted, dominated by slow kinds
+            "speedup": round(t_seed / t_new, 3),
+            # unweighted mean of the per-kind ratios
+            "mean_kind_speedup": round(
+                sum(kind_speedups) / len(kind_speedups), 3
+            ),
+        }
+    return result
+
+
+def bench_sim(scale: float = 0.12,
+              workloads: Optional[Sequence[str]] = None) -> Dict:
+    """End-to-end reference-stream throughput per named workload.
+
+    Each workload runs once on a compression-cache machine; the figure of
+    merit is host-side pages (references) per second, the rate the whole
+    reproduction pipeline sustains.
+    """
+    from .cli import WORKLOAD_FACTORIES  # late import: cli imports us
+
+    names = list(workloads) if workloads else sorted(WORKLOAD_FACTORIES)
+    result: Dict = {"scale": scale, "workloads": {}}
+    for name in names:
+        factory = WORKLOAD_FACTORIES[name]
+        workload = factory(scale)
+        machine = Machine(
+            MachineConfig(memory_bytes=mbytes(6 * scale)),
+            workload.build(),
+        )
+        refs = list(workload.references())
+        engine = SimulationEngine(machine)
+        t0 = _perf_counter()
+        run = engine.run(iter(refs))
+        wall = _perf_counter() - t0
+        result["workloads"][name] = {
+            "references": len(refs),
+            "wall_seconds": round(wall, 4),
+            "pages_per_second": round(len(refs) / wall, 1),
+            "sampler_hit_rate": round(run.sampler_hit_rate, 4),
+            "simulated_seconds": round(run.elapsed_seconds, 3),
+        }
+    return result
+
+
+def check_against_baseline(compression: Dict, baseline_path: Path) -> List[str]:
+    """Compare measured speedups against the committed baseline ratios.
+
+    Returns a list of failure messages (empty when everything passes).
+    Only speedup *ratios* are compared — absolute MB/s varies with the
+    host, the ratio of two kernels timed in the same process does not.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, expected in baseline["aggregate_speedup"].items():
+        got = compression["aggregate"][name]["speedup"]
+        floor = expected * CHECK_TOLERANCE
+        if got < floor:
+            failures.append(
+                f"{name}: aggregate speedup {got:.2f}x is below "
+                f"{floor:.2f}x ({CHECK_TOLERANCE:.0%} of the committed "
+                f"baseline {expected:.2f}x)"
+            )
+    return failures
+
+
+def run_harness(
+    out_dir: Path,
+    quick: bool = False,
+    check: Optional[Path] = None,
+    skip_sim: bool = False,
+    echo: Callable[[str], None] = print,
+) -> int:
+    """Run the full harness; returns a process exit code."""
+    if not out_dir.is_dir():
+        echo(f"error: output directory not found: {out_dir}")
+        return 2
+    pages_per_kind, reps = (6, 3) if quick else (16, 5)
+    echo(f"compression kernels: {pages_per_kind} pages/kind, "
+         f"best of {reps} reps ...")
+    compression = bench_compression(pages_per_kind, reps)
+    for name, agg in compression["aggregate"].items():
+        echo(f"  {name}: {agg['new_mb_s']:.2f} MB/s "
+             f"(seed {agg['seed_mb_s']:.2f} MB/s, "
+             f"{agg['speedup']:.2f}x; per-kind mean "
+             f"{agg['mean_kind_speedup']:.2f}x)")
+    comp_path = out_dir / "BENCH_compression.json"
+    comp_path.write_text(json.dumps(compression, indent=2) + "\n")
+    echo(f"wrote {comp_path}")
+
+    if not skip_sim:
+        scale = 0.05 if quick else 0.12
+        echo(f"simulation throughput at scale {scale} ...")
+        sim = bench_sim(scale=scale)
+        for name, row in sim["workloads"].items():
+            echo(f"  {name}: {row['pages_per_second']:.0f} pages/s "
+                 f"({row['references']} refs, "
+                 f"sampler memo {row['sampler_hit_rate']:.0%})")
+        sim_path = out_dir / "BENCH_sim.json"
+        sim_path.write_text(json.dumps(sim, indent=2) + "\n")
+        echo(f"wrote {sim_path}")
+
+    if check is not None:
+        if not check.is_file():
+            echo(f"error: baseline file not found: {check}")
+            return 2
+        failures = check_against_baseline(compression, check)
+        if failures:
+            for failure in failures:
+                echo(f"REGRESSION: {failure}")
+            return 1
+        echo(f"speedups within {CHECK_TOLERANCE:.0%} of baseline "
+             f"{check}: ok")
+    return 0

@@ -6,7 +6,12 @@ from .engine import PageRef, RunResult, SimulationEngine, run_workload
 from .ledger import Ledger, TimeCategory
 from .machine import DEVICE_PRESETS, Machine, MachineConfig
 from .metrics import EvictionCounters, FaultCounters, SimulationMetrics
-from .report import format_minutes_seconds, render_series, render_table
+from .report import (
+    format_minutes_seconds,
+    render_sampler_stats,
+    render_series,
+    render_table,
+)
 
 __all__ = [
     "CostModel",
@@ -23,6 +28,7 @@ __all__ = [
     "TimeCategory",
     "VirtualClock",
     "format_minutes_seconds",
+    "render_sampler_stats",
     "render_series",
     "render_table",
     "run_workload",

@@ -53,6 +53,14 @@ class RunResult:
     compression_ratio_percent: float
     uncompressible_percent: float
     time_breakdown: Dict[str, float] = field(default_factory=dict)
+    sampler_hits: int = 0
+    sampler_misses: int = 0
+
+    @property
+    def sampler_hit_rate(self) -> float:
+        """Fraction of compression measurements served from the memo."""
+        total = self.sampler_hits + self.sampler_misses
+        return self.sampler_hits / total if total else 0.0
 
     def summary(self) -> str:
         """One-line result for quick comparisons."""
@@ -60,7 +68,9 @@ class RunResult:
             f"elapsed {self.elapsed_seconds:.2f}s, "
             f"faults {self.metrics_snapshot['faults']['total']}, "
             f"ratio {self.compression_ratio_percent:.0f}%, "
-            f"uncompressible {self.uncompressible_percent:.1f}%"
+            f"uncompressible {self.uncompressible_percent:.1f}%, "
+            f"sampler memo {self.sampler_hit_rate * 100:.0f}% "
+            f"({self.sampler_hits}/{self.sampler_hits + self.sampler_misses})"
         )
 
 
@@ -99,26 +109,34 @@ class SimulationEngine:
         vm = machine.vm
         ledger = machine.ledger
         start = ledger.now
+        # The loop below runs once per reference — millions of times in a
+        # sweep — so every attribute used per event is bound to a local.
+        touch = vm.touch
+        entry = machine.address_space.entry
+        charge = ledger.charge
+        default_mutation = self._default_mutation
+        base = TimeCategory.BASE
         seen = 0
         for ref in references:
             if max_references is not None and seen >= max_references:
                 break
             seen += 1
-            vm.touch(ref.page_id, write=ref.write)
+            touch(ref.page_id, write=ref.write)
             if observer is not None and seen % observe_every == 0:
                 observer(machine, seen)
             if ref.write:
-                content = machine.address_space.entry(ref.page_id).content
-                if ref.mutate is not None:
-                    ref.mutate(content)
+                content = entry(ref.page_id).content
+                mutate = ref.mutate
+                if mutate is not None:
+                    mutate(content)
                 else:
-                    self._default_mutation(content)
+                    default_mutation(content)
             elif ref.mutate is not None:
                 raise ValueError(
                     f"read reference for {ref.page_id} carries a mutation"
                 )
             if ref.compute_seconds:
-                ledger.charge(TimeCategory.BASE, ref.compute_seconds)
+                charge(base, ref.compute_seconds)
         if drain:
             vm.drain()
         return self._collect(start)
@@ -133,7 +151,10 @@ class SimulationEngine:
     def _collect(self, start: float) -> RunResult:
         machine = self.machine
         metrics = machine.vm.metrics
+        sampler = machine.sampler
         return RunResult(
+            sampler_hits=sampler.hits if sampler is not None else 0,
+            sampler_misses=sampler.misses if sampler is not None else 0,
             elapsed_seconds=machine.ledger.now - start,
             metrics_snapshot=metrics.snapshot(machine.ledger),
             device_counters=machine.device.counters.snapshot(),

@@ -89,6 +89,11 @@ def render_machine(machine: Machine) -> str:
     ]
     if machine.ccache is not None:
         parts.append(render_cache_figure(machine.ccache))
+    if machine.sampler is not None:
+        from .report import render_sampler_stats
+
+        parts.append(render_sampler_stats(machine.sampler.hits,
+                                          machine.sampler.misses))
     parts.append(
         "device: "
         + ", ".join(

@@ -50,6 +50,22 @@ def _cell(value: object) -> str:
     return str(value)
 
 
+def render_sampler_stats(hits: int, misses: int) -> str:
+    """One line describing the compression sampler's memoization rate.
+
+    High hit rates mean the run's compression *sizes* were mostly served
+    from the memo rather than recomputed — the simulated times are
+    unchanged (the ledger charges model time either way), but wall-clock
+    cost of the experiment drops accordingly.
+    """
+    total = hits + misses
+    rate = hits / total * 100 if total else 0.0
+    return (
+        f"sampler memo: {hits} hits / {misses} misses "
+        f"({rate:.1f}% memoized)"
+    )
+
+
 def render_series(name: str, xs: Sequence[float],
                   ys: Sequence[float], x_label: str = "x",
                   y_label: str = "y") -> str:

@@ -14,18 +14,29 @@ statistics resemble the original programs':
 * the thrasher's array: compresses "roughly 4:1".
 
 Every generator is deterministic in its arguments, so runs reproduce
-bit-for-bit; the test suite pins each generator's LZRW1 ratio band.
+bit-for-bit — which also makes each one a pure function, memoized below
+with ``lru_cache``.  Workloads regenerate the same page many times (every
+re-fault rebuilds its content), and generation costs far more than a dict
+probe, so the memo is the difference between contentgen dominating a
+simulation's wall-clock and vanishing from the profile.  The cached
+values are immutable ``bytes``, safe to share between pages.
 """
 
 from __future__ import annotations
 
 import random
 import struct
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 from ..mem.page import DEFAULT_PAGE_SIZE
 
+#: Distinct (generator, arguments) results kept; at the default 4-KByte
+#: page size the memo tops out around 32 MBytes.
+_PAGE_CACHE_SIZE = 8192
 
+
+@lru_cache(maxsize=_PAGE_CACHE_SIZE)
 def repeating_pattern(
     page_number: int,
     seed: int = 0,
@@ -47,6 +58,7 @@ def repeating_pattern(
     return (prefix * reps)[:page_size]
 
 
+@lru_cache(maxsize=_PAGE_CACHE_SIZE)
 def incompressible(
     page_number: int,
     seed: int = 0,
@@ -57,6 +69,7 @@ def incompressible(
     return bytes(rng.randrange(256) for _ in range(page_size))
 
 
+@lru_cache(maxsize=_PAGE_CACHE_SIZE)
 def dp_band_values(
     page_number: int,
     seed: int = 0,
@@ -85,9 +98,9 @@ def dp_band_values(
 _WORD_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
 
 
-def make_dictionary(nwords: int = 4096, seed: int = 7,
-                    min_len: int = 5, max_len: int = 12) -> List[bytes]:
-    """A synthetic /usr/dict/words: distinct lowercase words."""
+@lru_cache(maxsize=16)
+def _make_dictionary_cached(nwords: int, seed: int, min_len: int,
+                            max_len: int) -> Tuple[bytes, ...]:
     rng = random.Random(seed)
     seen = set()
     words: List[bytes] = []
@@ -97,7 +110,17 @@ def make_dictionary(nwords: int = 4096, seed: int = 7,
         if word not in seen:
             seen.add(word)
             words.append(word.encode("ascii"))
-    return words
+    return tuple(words)
+
+
+def make_dictionary(nwords: int = 4096, seed: int = 7,
+                    min_len: int = 5, max_len: int = 12) -> List[bytes]:
+    """A synthetic /usr/dict/words: distinct lowercase words.
+
+    Returns a fresh list each call (callers shuffle it); the expensive
+    generation itself is memoized.
+    """
+    return list(_make_dictionary_cached(nwords, seed, min_len, max_len))
 
 
 def text_page_random(
@@ -112,6 +135,18 @@ def text_page_random(
     strings within an individual 4-Kbyte page", so about 98% of pages
     miss the 4:3 threshold.
     """
+    return _text_page_random(
+        page_number, tuple(dictionary), seed, page_size
+    )
+
+
+@lru_cache(maxsize=_PAGE_CACHE_SIZE)
+def _text_page_random(
+    page_number: int,
+    dictionary: Tuple[bytes, ...],
+    seed: int,
+    page_size: int,
+) -> bytes:
     rng = random.Random((seed << 32) ^ page_number ^ 0x7E47)
     buf = bytearray()
     while len(buf) < page_size:
@@ -135,6 +170,19 @@ def text_page_clustered(
     order.  With 30 distinct words the measured LZRW1 ratio is ≈ 0.29,
     the paper's "about 3:1".
     """
+    return _text_page_clustered(
+        page_number, tuple(dictionary), seed, cluster_words, page_size
+    )
+
+
+@lru_cache(maxsize=_PAGE_CACHE_SIZE)
+def _text_page_clustered(
+    page_number: int,
+    dictionary: Tuple[bytes, ...],
+    seed: int,
+    cluster_words: int,
+    page_size: int,
+) -> bytes:
     rng = random.Random((seed << 32) ^ page_number ^ 0xC1E4)
     cluster = [rng.choice(dictionary) for _ in range(cluster_words)]
     buf = bytearray()
@@ -144,6 +192,7 @@ def text_page_clustered(
     return bytes(buf[:page_size])
 
 
+@lru_cache(maxsize=_PAGE_CACHE_SIZE)
 def index_page(
     page_number: int,
     seed: int = 0,
@@ -179,6 +228,7 @@ def index_page(
     return bytes(buf[:page_size])
 
 
+@lru_cache(maxsize=_PAGE_CACHE_SIZE)
 def cache_table_page(
     page_number: int,
     seed: int = 0,
