@@ -6,7 +6,6 @@ set fits compressed.  Also traces the Section 4.2 variable-allocation
 behaviour: the cache's size over time as pressure comes and goes.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.mem.page import mbytes

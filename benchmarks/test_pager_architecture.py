@@ -15,7 +15,6 @@ future work in this area."  Measured here:
   settles into a different (sometimes better) equilibrium.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.mem.page import mbytes

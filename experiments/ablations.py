@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""All design-choice ablations in one run.
+"""All design-choice ablations in one (optionally parallel) sweep.
 
 Regenerates, at a modest scale, every comparison the paper discusses but
 does not tabulate:
@@ -12,152 +12,41 @@ does not tabulate:
 6. the in-kernel versus external-pager architecture (Section 4);
 7. the Section 6 outlook: hardware compression, faster CPUs, devices.
 
-Run: python experiments/ablations.py [scale]
+Every cell is an independent ``SweepPoint`` executed by ``repro.sweep``
+(the grid itself lives in ``repro.experiments.ablation_points``), so the
+whole run fans out across ``--jobs`` worker processes and can be
+checkpointed/resumed; rendered tables are identical at any job count.
+
+Run: python experiments/ablations.py [scale] [--jobs N]
+     [--resume checkpoint.jsonl] [--timeout seconds]
 """
 
-import sys
+import argparse
 
-from repro.ccache.allocator import AllocationBiases
-from repro.mem.page import mbytes
-from repro.sim.costs import CostModel
-from repro.sim.engine import SimulationEngine
-from repro.sim.machine import Machine, MachineConfig
-from repro.sim.report import render_table
-from repro.storage.blockfs import PartialWritePolicy
-from repro.workloads import GoldWorkload, Thrasher
-
-SCALE = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
-MEMORY = mbytes(6 * SCALE)
-
-
-def run(config: MachineConfig, workload_factory):
-    workload = workload_factory()
-    machine = Machine(config, workload.build())
-    result = SimulationEngine(machine).run(workload.references())
-    return result, machine
-
-
-def thrasher():
-    return Thrasher(int(MEMORY * 2), cycles=3, write=True)
-
-
-def speedup(config: MachineConfig, workload_factory=thrasher) -> float:
-    std, _ = run(config.variant(compression_cache=False), workload_factory)
-    cc, _ = run(config.variant(compression_cache=True), workload_factory)
-    return std.elapsed_seconds / cc.elapsed_seconds
+from repro.experiments import ablation_points, render_ablations
+from repro.sweep import run_sweep
 
 
 def main() -> None:
-    base = MachineConfig(memory_bytes=MEMORY)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scale", nargs="?", type=float, default=0.1)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--resume", default=None,
+                        help="JSONL checkpoint path (created if absent)")
+    parser.add_argument("--timeout", type=float, default=None)
+    args = parser.parse_args()
 
-    print(render_table(
-        ["partial-write policy", "cc speedup"],
-        [
-            [policy.value,
-             f"{speedup(base.variant(partial_write_policy=policy)):.2f}"]
-            for policy in PartialWritePolicy
-        ],
-        title="1. Backing-store partial-write policy (Section 4.3)",
-    ))
-    print()
-
-    print(render_table(
-        ["fragments", "cc speedup"],
-        [
-            ["spanning allowed",
-             f"{speedup(base.variant(allow_spanning=True)):.2f}"],
-            ["no spanning",
-             f"{speedup(base.variant(allow_spanning=False)):.2f}"],
-            ["per-page writes (batch=4K)",
-             f"{speedup(base.variant(batch_bytes=4096)):.2f}"],
-            ["32-KByte batches",
-             f"{speedup(base.variant(batch_bytes=32768)):.2f}"],
-        ],
-        title="2. Fragment store parameters (Section 4.3)",
-    ))
-    print()
-
-    rows = []
-    for weight in (1.0, 2.0, 6.0, 16.0):
-        biases = AllocationBiases(
-            file_cache_weight=2 * weight, vm_weight=weight,
-            ccache_weight=1.0,
-        )
-        thrash = speedup(base.variant(biases=biases))
-        gold_cfg = MachineConfig(memory_bytes=mbytes(14 * SCALE),
-                                 biases=biases)
-        gold = speedup(
-            gold_cfg,
-            lambda: GoldWorkload(
-                "warm", mbytes(30 * SCALE),
-                operations=max(30, int(8000 * SCALE)),
-                hot_fraction=0.3, hot_probability=0.8,
-            ),
-        )
-        rows.append([f"vm_weight={weight:g}", f"{thrash:.2f}",
-                     f"{gold:.2f}"])
-    print(render_table(
-        ["bias", "thrasher speedup", "gold-warm speedup"],
-        rows,
-        title="3. Allocator bias: application-dependent optimum "
-              "(Section 4.2)",
-    ))
-    print()
-
-    print(render_table(
-        ["algorithm", "cc speedup"],
-        [
-            [name, f"{speedup(base.variant(compressor=name)):.2f}"]
-            for name in ("lzrw1", "lzss", "wk", "rle")
-        ],
-        title="4. Compression algorithm",
-    ))
-    print()
-
-    print(render_table(
-        ["filesystem", "std (s)", "cc (s)", "cc speedup"],
-        [
-            [
-                fs,
-                f"{run(base.variant(filesystem=fs, compression_cache=False), thrasher)[0].elapsed_seconds:.1f}",
-                f"{run(base.variant(filesystem=fs), thrasher)[0].elapsed_seconds:.1f}",
-                f"{speedup(base.variant(filesystem=fs)):.2f}",
-            ]
-            for fs in ("ufs", "lfs")
-        ],
-        title="5. Paging into LFS (Sections 3, 5.1)",
-    ))
-    print()
-
-    print(render_table(
-        ["architecture", "cc speedup", "std time (s)"],
-        [
-            [
-                arch,
-                f"{speedup(base.variant(vm_architecture=arch)):.2f}",
-                f"{run(base.variant(vm_architecture=arch, compression_cache=False), thrasher)[0].elapsed_seconds:.1f}",
-            ]
-            for arch in ("monolithic", "external-pager")
-        ],
-        title="6. In-kernel versus Mach-style external pager (Section 4)",
-    ))
-    print()
-
-    print(render_table(
-        ["outlook", "cc speedup"],
-        [
-            ["1993 baseline", f"{speedup(base):.2f}"],
-            ["hardware compression",
-             f"{speedup(base.variant(costs=CostModel.hardware_compression())):.2f}"],
-            ["8x faster CPU",
-             f"{speedup(base.variant(costs=CostModel.faster_cpu(8.0))):.2f}"],
-            ["wireless LAN backing store",
-             f"{speedup(base.variant(device='wavelan')):.2f}"],
-            ["modern disk",
-             f"{speedup(base.variant(device='modern-hdd')):.2f}"],
-        ],
-        title="7. Section 6 outlook",
-    ))
+    points = ablation_points(args.scale)
+    sweep = run_sweep(
+        points,
+        jobs=args.jobs,
+        checkpoint=args.resume,
+        timeout=args.timeout,
+        progress=print,
+    )
+    cells = {point.key: record
+             for point, record in zip(points, sweep.in_order(points))}
+    print(render_ablations(cells))
 
 
 if __name__ == "__main__":

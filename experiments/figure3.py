@@ -5,21 +5,36 @@ Panel (a): average page access time versus address-space size for
 std_rw, cc_rw, std_ro, cc_ro.  Panel (b): speedup of the compression
 cache relative to the unmodified system.
 
-Run: python experiments/figure3.py [scale]
+Run: python experiments/figure3.py [scale] [--jobs N]
+     [--resume checkpoint.jsonl] [--timeout seconds]
 
 scale=1.0 is the paper's configuration (≈6 MBytes of user memory,
 address spaces up to 40 MBytes); the default 0.25 keeps the run to a
-couple of minutes while preserving every regime transition.
+couple of minutes while preserving every regime transition.  Sweep
+points are independent, so ``--jobs $(nproc)`` fans them across worker
+processes with identical output (see docs/sweep.md).
 """
 
-import sys
+import argparse
 
 from repro.experiments import figure3_sweep
 
 if __name__ == "__main__":
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scale", nargs="?", type=float, default=0.25)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--resume", default=None,
+                        help="JSONL checkpoint path (created if absent)")
+    parser.add_argument("--timeout", type=float, default=None)
+    args = parser.parse_args()
     for write in (False, True):
-        result = figure3_sweep(write=write, scale=scale)
+        result = figure3_sweep(
+            write=write,
+            scale=args.scale,
+            jobs=args.jobs,
+            checkpoint=args.resume,
+            timeout=args.timeout,
+        )
         print(result.render())
         print()
         mode = result.mode

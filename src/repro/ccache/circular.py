@@ -33,11 +33,7 @@ from ..mem.frames import FrameOwner, FramePool
 from ..mem.page import PageId
 from ..sim.ledger import Ledger, TimeCategory
 from ..storage.fragstore import FragmentStore
-from .header import (
-    COMPRESSED_PAGE_HEADER_BYTES,
-    CompressedPageHeader,
-    SlotState,
-)
+from .header import CompressedPageHeader, SlotState
 
 #: Called when the cache needs a physical frame and the pool is empty;
 #: must free one up (possibly by shrinking another consumer) and return it.

@@ -3,17 +3,22 @@
 Usage::
 
     compression-cache figure1
-    compression-cache figure3 [--scale 0.2] [--mode rw|ro|both]
-    compression-cache table1 [--scale 0.2] [--rows compare,isca]
+    compression-cache figure3 [--scale 0.2] [--mode rw|ro|both] [--jobs N]
+    compression-cache table1 [--scale 0.2] [--rows compare,isca] [--jobs N]
+    compression-cache sweep  [--experiment figure3|table1|ablations]
+                             [--jobs N] [--resume path.jsonl] [--timeout s]
     compression-cache demo   [--scale 0.2]
     compression-cache perf   [--quick] [--skip-sim] [--check baseline.json]
     compression-cache inspect [--scale 0.1]
     compression-cache trace-record --workload compare --out t.trace
     compression-cache trace-analyze t.trace [--frames 64,256]
 
-``--scale 1.0`` reproduces the paper's configuration (slow in pure
-Python); the defaults trade fidelity for wall-clock time while keeping
-every memory-pressure regime intact.
+``--scale 1.0`` reproduces the paper's configuration; the defaults trade
+fidelity for wall-clock time while keeping every memory-pressure regime
+intact.  Sweep-shaped experiments decompose into independent points, so
+``--jobs $(nproc)`` fans them across worker processes with byte-identical
+output, and ``--resume`` checkpoints completed points to JSONL so an
+interrupted sweep picks up where it left off (see docs/sweep.md).
 """
 
 from __future__ import annotations
@@ -71,7 +76,10 @@ def _cmd_figure1(_args: argparse.Namespace) -> int:
 def _cmd_figure3(args: argparse.Namespace) -> int:
     modes = {"rw": [True], "ro": [False], "both": [False, True]}[args.mode]
     for write in modes:
-        result = figure3_sweep(write=write, scale=args.scale)
+        result = figure3_sweep(
+            write=write, scale=args.scale, jobs=args.jobs,
+            checkpoint=args.resume, timeout=args.timeout,
+        )
         print(result.render())
         print()
     return 0
@@ -86,8 +94,56 @@ def _cmd_table1(args: argparse.Namespace) -> int:
             print(f"unknown rows: {sorted(unknown)}", file=sys.stderr)
             print(f"known: {', '.join(TABLE1_ORDER)}", file=sys.stderr)
             return 2
-    rows = table1(scale=args.scale, names=names)
+    rows = table1(
+        scale=args.scale, names=names, jobs=args.jobs,
+        checkpoint=args.resume, timeout=args.timeout,
+    )
     print(render_table1(rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run one experiment as an explicit sweep: parallel, resumable.
+
+    ``--digest`` prints only a stable fingerprint of the aggregated
+    results; CI compares digests across ``--jobs`` values to prove
+    parallel == serial.
+    """
+    from .experiments import ablation_points, figure3_points, table1_points
+    from .sweep import run_sweep
+
+    say = (lambda _msg: None) if args.digest else print
+    if args.experiment == "figure3":
+        modes = {"rw": [True], "ro": [False],
+                 "both": [False, True]}[args.mode]
+        points = []
+        for write in modes:
+            points.extend(figure3_points(write=write, scale=args.scale,
+                                         seed=args.seed))
+    elif args.experiment == "table1":
+        points = table1_points(scale=args.scale)
+    else:  # ablations
+        points = ablation_points(args.scale)
+    sweep = run_sweep(
+        points,
+        jobs=args.jobs,
+        checkpoint=args.resume,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=say,
+    )
+    if sweep.failures:
+        for key, error in sweep.failures.items():
+            print(f"FAILED {key}: {error}", file=sys.stderr)
+        return 1
+    if args.digest:
+        print(sweep.digest())
+        return 0
+    import json
+
+    for key, record in sweep.results.items():
+        print(f"{key}: {json.dumps(record, sort_keys=True)}")
+    print(sweep.summary())
     return 0
 
 
@@ -155,7 +211,12 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
     workload.build()
     trace = Trace.record(workload.references(),
                          max_events=args.max_events or None)
-    trace.dump(args.out)
+    try:
+        trace.dump(args.out)
+    except OSError as exc:
+        print(f"trace-record: cannot write {args.out!r}: {exc}",
+              file=sys.stderr)
+        return 2
     print(f"recorded {len(trace)} references "
           f"({trace.touched_pages()} pages, "
           f"{trace.write_fraction:.0%} writes) to {args.out}")
@@ -165,9 +226,23 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
 def _cmd_trace_analyze(args: argparse.Namespace) -> int:
     """LRU miss-ratio analysis of a recorded trace."""
     from .model.locality import MissRatioCurve
-    from .sim.trace import Trace
+    from .sim.trace import Trace, TraceFormatError
 
-    trace = Trace.load(args.trace)
+    try:
+        trace = Trace.load(args.trace)
+    except OSError as exc:
+        print(f"trace-analyze: cannot read {args.trace!r}: {exc}",
+              file=sys.stderr)
+        print("usage: compression-cache trace-analyze TRACE "
+              "[--frames 64,256] (record one with trace-record)",
+              file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(f"trace-analyze: {args.trace!r} is not a valid trace: {exc}",
+              file=sys.stderr)
+        print("the file may be truncated or not produced by "
+              "trace-record; re-record it", file=sys.stderr)
+        return 2
     curve = MissRatioCurve.from_references(
         [ref.page_id for ref in trace]
     )
@@ -196,15 +271,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("figure1", help="analytic speedup surfaces")
 
+    def add_sweep_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes (1 = serial; output is identical)")
+        command.add_argument(
+            "--resume", default=None, metavar="PATH.jsonl",
+            help="JSONL checkpoint: skip completed points, append new")
+        command.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-point wall-clock limit")
+
     fig3 = sub.add_parser("figure3", help="thrasher sweep (both panels)")
     fig3.add_argument("--scale", type=float, default=0.2)
     fig3.add_argument("--mode", choices=("rw", "ro", "both"),
                       default="both")
+    add_sweep_options(fig3)
 
     tbl = sub.add_parser("table1", help="application speedups")
     tbl.add_argument("--scale", type=float, default=0.12)
     tbl.add_argument("--rows", default="",
                      help="comma-separated subset of applications")
+    add_sweep_options(tbl)
+
+    sweep = sub.add_parser(
+        "sweep", help="run an experiment as a parallel, resumable sweep"
+    )
+    sweep.add_argument("--experiment",
+                       choices=("figure3", "table1", "ablations"),
+                       default="figure3")
+    sweep.add_argument("--scale", type=float, default=0.2)
+    sweep.add_argument("--mode", choices=("rw", "ro", "both"),
+                       default="both", help="figure3 only")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="content-generation seed (figure3 only)")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="extra attempts for a crashed/failed point")
+    sweep.add_argument("--digest", action="store_true",
+                       help="print only the aggregated-results digest "
+                            "(CI parallel==serial check)")
+    add_sweep_options(sweep)
 
     demo = sub.add_parser("demo", help="quick thrasher demonstration")
     demo.add_argument("--scale", type=float, default=0.2)
@@ -247,6 +353,7 @@ _COMMANDS = {
     "figure1": _cmd_figure1,
     "figure3": _cmd_figure3,
     "table1": _cmd_table1,
+    "sweep": _cmd_sweep,
     "demo": _cmd_demo,
     "inspect": _cmd_inspect,
     "perf": _cmd_perf,

@@ -22,12 +22,25 @@ uncompressible column — are emergent outputs.  See EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from .ccache.allocator import AllocationBiases
 from .mem.page import mbytes
+from .sim.costs import CostModel
 from .sim.engine import RunResult, SimulationEngine
 from .sim.machine import Machine, MachineConfig
-from .sim.report import format_minutes_seconds, render_series, render_table
+from .sim.report import format_minutes_seconds, render_table
+from .storage.blockfs import PartialWritePolicy
+from .sweep import SweepPoint, run_sweep
 from .workloads import (
     CacheSimWorkload,
     CompareWorkload,
@@ -118,11 +131,82 @@ class Figure3Result:
         )
 
 
+#: The paper's 0.3x-6.7x address-space span, as multiples of user memory.
+FIGURE3_MULTIPLES = (0.35, 0.7, 1.0, 1.4, 2.0, 2.7, 3.4, 4.7, 6.0, 6.7)
+
+#: Import path of the Figure 3 point runner (see ``repro.sweep``).
+FIGURE3_RUNNER = "repro.experiments:run_figure3_point"
+
+
+def run_figure3_point(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    """Sweep runner: one x-position of Figure 3, both systems.
+
+    The spec fully determines the simulation (scale, address-space
+    multiple, access mode, cycles, content seed), so this is a pure
+    function safe to execute in any worker process.
+    """
+    scale = spec["scale"]
+    memory = mbytes(6 * scale)
+    space = int(memory * spec["multiple"])
+    config = MachineConfig(memory_bytes=memory)
+    std, cc = run_pair(
+        lambda: Thrasher(
+            space,
+            cycles=spec["cycles"],
+            write=spec["write"],
+            seed=spec["seed"],
+        ),
+        config,
+    )
+    accesses = std.metrics_snapshot["accesses"]
+    return {
+        "address_space_bytes": space,
+        "accesses": accesses,
+        "std_ms_per_access": 1000.0 * std.elapsed_seconds / accesses,
+        "cc_ms_per_access": 1000.0 * cc.elapsed_seconds / accesses,
+    }
+
+
+def figure3_points(
+    write: bool,
+    scale: float = 1.0,
+    points: Optional[Sequence[float]] = None,
+    cycles: int = 3,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Decompose one Figure 3 curve pair into independent sweep points."""
+    if points is None:
+        points = FIGURE3_MULTIPLES
+    mode = "rw" if write else "ro"
+    return [
+        SweepPoint(
+            runner=FIGURE3_RUNNER,
+            spec={
+                "write": write,
+                "scale": scale,
+                "multiple": multiple,
+                "cycles": cycles,
+                "seed": seed,
+            },
+            key=(
+                f"figure3/{mode}/s{scale:g}/c{cycles}/"
+                f"seed{seed}/x{multiple:g}"
+            ),
+        )
+        for multiple in points
+    ]
+
+
 def figure3_sweep(
     write: bool,
     scale: float = 1.0,
     points: Optional[Sequence[float]] = None,
     cycles: int = 3,
+    seed: int = 0,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    timeout: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> Figure3Result:
     """Regenerate one pair of Figure 3 curves.
 
@@ -133,25 +217,30 @@ def figure3_sweep(
         points: address-space sizes as multiples of user memory
             (default mirrors the paper's 0.3x-6.7x span).
         cycles: passes per measurement.
+        seed: content-generation seed carried into every point.
+        jobs: worker processes (1 = serial; output is identical either
+            way — see ``docs/sweep.md``).
+        checkpoint: JSONL path for resumable execution.
+        timeout: per-point wall-clock limit in seconds.
+        progress: optional one-line progress callback.
     """
-    if points is None:
-        points = (0.35, 0.7, 1.0, 1.4, 2.0, 2.7, 3.4, 4.7, 6.0, 6.7)
-    memory = mbytes(6 * scale)
-    config = MachineConfig(memory_bytes=memory)
-    mode = "rw" if write else "ro"
-    result = Figure3Result(mode=mode)
-    for multiple in points:
-        space = int(memory * multiple)
-        std, cc = run_pair(
-            lambda: Thrasher(space, cycles=cycles, write=write),
-            config,
-        )
-        accesses = std.metrics_snapshot["accesses"]
+    specs = figure3_points(
+        write, scale=scale, points=points, cycles=cycles, seed=seed
+    )
+    sweep = run_sweep(
+        specs,
+        jobs=jobs,
+        checkpoint=checkpoint,
+        timeout=timeout,
+        progress=progress,
+    )
+    result = Figure3Result(mode="rw" if write else "ro")
+    for record in sweep.in_order(specs):
         result.points.append(
             Figure3Point(
-                address_space_bytes=space,
-                std_ms_per_access=1000.0 * std.elapsed_seconds / accesses,
-                cc_ms_per_access=1000.0 * cc.elapsed_seconds / accesses,
+                address_space_bytes=record["address_space_bytes"],
+                std_ms_per_access=record["std_ms_per_access"],
+                cc_ms_per_access=record["cc_ms_per_access"],
             )
         )
     return result
@@ -303,13 +392,65 @@ def table1_row(
     )
 
 
-def table1(scale: float = 1.0, calibrate: bool = True,
-           names: Optional[Sequence[str]] = None) -> List[Table1Row]:
-    """Measure all (or selected) Table 1 rows."""
-    rows = []
-    for name in names if names is not None else TABLE1_ORDER:
-        rows.append(table1_row(name, scale=scale, calibrate=calibrate))
-    return rows
+#: Import path of the Table 1 row runner (see ``repro.sweep``).
+TABLE1_RUNNER = "repro.experiments:run_table1_point"
+
+
+def run_table1_point(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    """Sweep runner: one full Table 1 row (calibration included).
+
+    Calibration is *inside* the point — each row's CPU charge depends
+    only on its own standard-system probe run — so rows are independent
+    and can execute on any worker in any order.
+    """
+    row = table1_row(
+        spec["name"], scale=spec["scale"], calibrate=spec["calibrate"]
+    )
+    return {
+        "name": row.name,
+        "std_seconds": row.std_seconds,
+        "cc_seconds": row.cc_seconds,
+        "ratio_percent": row.ratio_percent,
+        "uncompressible_percent": row.uncompressible_percent,
+        "compute_seconds_per_ref": row.compute_seconds_per_ref,
+    }
+
+
+def table1_points(
+    scale: float = 1.0,
+    calibrate: bool = True,
+    names: Optional[Sequence[str]] = None,
+) -> List[SweepPoint]:
+    """Decompose Table 1 into one sweep point per application row."""
+    return [
+        SweepPoint(
+            runner=TABLE1_RUNNER,
+            spec={"name": name, "scale": scale, "calibrate": calibrate},
+            key=f"table1/s{scale:g}/{'cal' if calibrate else 'raw'}/{name}",
+        )
+        for name in (names if names is not None else TABLE1_ORDER)
+    ]
+
+
+def table1(
+    scale: float = 1.0,
+    calibrate: bool = True,
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    timeout: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Table1Row]:
+    """Measure all (or selected) Table 1 rows, optionally in parallel."""
+    points = table1_points(scale=scale, calibrate=calibrate, names=names)
+    sweep = run_sweep(
+        points,
+        jobs=jobs,
+        checkpoint=checkpoint,
+        timeout=timeout,
+        progress=progress,
+    )
+    return [Table1Row(**record) for record in sweep.in_order(points)]
 
 
 def render_table1(rows: Sequence[Table1Row]) -> str:
@@ -362,4 +503,274 @@ def render_figure1() -> str:
             for j in range(0, len(surface.ratios), 4)
         ]
         blocks.append(render_table(headers, rows, title=title))
+    return "\n\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# Ablation cells: generic (config, workload) sweep points
+# ----------------------------------------------------------------------
+#
+# The design-choice ablations (experiments/ablations.py) are grids of
+# independent std-versus-cc comparisons over machine-configuration
+# variants.  Each cell is one sweep point whose spec encodes the config
+# and workload as JSON primitives; the decoders below rebuild the real
+# objects inside the worker.
+
+#: Import path of the ablation cell runner (see ``repro.sweep``).
+ABLATION_RUNNER = "repro.experiments:run_ablation_point"
+
+
+def config_from_spec(spec: Mapping[str, Any]) -> MachineConfig:
+    """Build a :class:`MachineConfig` from JSON-primitive overrides.
+
+    Recognized keys: ``memory_bytes``, ``compressor``, ``device``,
+    ``filesystem``, ``partial_write_policy`` (enum value string),
+    ``fragment_size``, ``batch_bytes``, ``allow_spanning``, ``biases``
+    (three-weight mapping), ``costs`` (``"base"``, ``"hardware"`` or
+    ``["cpu", factor]``), and ``vm_architecture``.
+    """
+    changes: Dict[str, Any] = {}
+    passthrough = (
+        "memory_bytes", "compressor", "device", "filesystem",
+        "fragment_size", "batch_bytes", "allow_spanning",
+        "vm_architecture",
+    )
+    for name in passthrough:
+        if name in spec:
+            changes[name] = spec[name]
+    if "partial_write_policy" in spec:
+        changes["partial_write_policy"] = PartialWritePolicy(
+            spec["partial_write_policy"]
+        )
+    if "biases" in spec:
+        weights = spec["biases"]
+        changes["biases"] = AllocationBiases(
+            file_cache_weight=weights["file_cache_weight"],
+            vm_weight=weights["vm_weight"],
+            ccache_weight=weights["ccache_weight"],
+        )
+    if "costs" in spec:
+        costs = spec["costs"]
+        if costs == "base":
+            changes["costs"] = CostModel()
+        elif costs == "hardware":
+            changes["costs"] = CostModel.hardware_compression()
+        elif isinstance(costs, (list, tuple)) and costs[0] == "cpu":
+            changes["costs"] = CostModel.faster_cpu(float(costs[1]))
+        else:
+            raise ValueError(f"unknown costs spec: {costs!r}")
+    return MachineConfig(**changes)
+
+
+def workload_from_spec(spec: Mapping[str, Any]) -> Workload:
+    """Build a workload from a JSON-primitive description.
+
+    ``kind`` selects the class; the remaining keys are constructor
+    arguments.  Only the workloads the ablations use are mapped; extend
+    the table as new sweeps need new workloads.
+    """
+    kind = spec["kind"]
+    kwargs = {k: v for k, v in spec.items() if k != "kind"}
+    factories: Dict[str, Callable[..., Workload]] = {
+        "thrasher": Thrasher,
+        "gold": GoldWorkload,
+        "compare": CompareWorkload,
+        "isca": CacheSimWorkload,
+        "sort": SortWorkload,
+    }
+    if kind not in factories:
+        known = ", ".join(sorted(factories))
+        raise ValueError(f"unknown workload kind {kind!r}; known: {known}")
+    return factories[kind](**kwargs)
+
+
+def run_ablation_point(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    """Sweep runner: one ablation cell (std and cc runs of one config).
+
+    Spec: ``{"config": {...}, "workload": {...}}`` per the decoders
+    above.  Returns elapsed times and the cc speedup.
+    """
+    config = config_from_spec(spec["config"])
+    std, cc = run_pair(
+        lambda: workload_from_spec(spec["workload"]),
+        config,
+    )
+    speedup = (
+        float("inf") if cc.elapsed_seconds == 0
+        else std.elapsed_seconds / cc.elapsed_seconds
+    )
+    return {
+        "std_seconds": std.elapsed_seconds,
+        "cc_seconds": cc.elapsed_seconds,
+        "speedup": speedup,
+    }
+
+
+def ablation_point(
+    key: str,
+    config_spec: Mapping[str, Any],
+    workload_spec: Mapping[str, Any],
+) -> SweepPoint:
+    """One ablation cell as a sweep point."""
+    return SweepPoint(
+        runner=ABLATION_RUNNER,
+        spec={"config": dict(config_spec), "workload": dict(workload_spec)},
+        key=key,
+    )
+
+
+#: Allocator-bias weights swept by ablation 3.
+ABLATION_BIAS_WEIGHTS = (1.0, 2.0, 6.0, 16.0)
+
+
+def ablation_points(scale: float) -> List[SweepPoint]:
+    """The full design-choice ablation grid (experiments/ablations.py).
+
+    Every cell is independent; ``render_ablations`` reassembles the
+    seven tables from the completed results by key.
+    """
+    memory = mbytes(6 * scale)
+    thrasher = {
+        "kind": "thrasher",
+        "working_set_bytes": int(memory * 2),
+        "cycles": 3,
+        "write": True,
+    }
+    gold_warm = {
+        "kind": "gold",
+        "mode": "warm",
+        "index_bytes": mbytes(30 * scale),
+        "operations": max(30, int(8000 * scale)),
+        "hot_fraction": 0.3,
+        "hot_probability": 0.8,
+    }
+    base = {"memory_bytes": memory}
+    gold_base = {"memory_bytes": mbytes(14 * scale)}
+
+    points: List[SweepPoint] = []
+
+    def cell(key: str, config: Mapping[str, Any],
+             workload: Mapping[str, Any] = thrasher) -> None:
+        points.append(ablation_point(key, {**base, **config}, workload))
+
+    for policy in PartialWritePolicy:
+        cell(f"1-partial-write/{policy.value}",
+             {"partial_write_policy": policy.value})
+
+    cell("2-fragments/spanning", {"allow_spanning": True})
+    cell("2-fragments/no-spanning", {"allow_spanning": False})
+    cell("2-fragments/batch-4k", {"batch_bytes": 4096})
+    cell("2-fragments/batch-32k", {"batch_bytes": 32768})
+
+    for weight in ABLATION_BIAS_WEIGHTS:
+        biases = {
+            "file_cache_weight": 2 * weight,
+            "vm_weight": weight,
+            "ccache_weight": 1.0,
+        }
+        cell(f"3-bias/w{weight:g}/thrasher", {"biases": biases})
+        points.append(ablation_point(
+            f"3-bias/w{weight:g}/gold-warm",
+            {**gold_base, "biases": biases},
+            gold_warm,
+        ))
+
+    for name in ("lzrw1", "lzss", "wk", "rle"):
+        cell(f"4-algorithm/{name}", {"compressor": name})
+
+    for fs in ("ufs", "lfs"):
+        cell(f"5-filesystem/{fs}", {"filesystem": fs})
+
+    for arch in ("monolithic", "external-pager"):
+        cell(f"6-architecture/{arch}", {"vm_architecture": arch})
+
+    cell("7-outlook/baseline", {})
+    cell("7-outlook/hardware-compression", {"costs": "hardware"})
+    cell("7-outlook/cpu-8x", {"costs": ["cpu", 8.0]})
+    cell("7-outlook/wavelan", {"device": "wavelan"})
+    cell("7-outlook/modern-hdd", {"device": "modern-hdd"})
+
+    return points
+
+
+def render_ablations(cells: Mapping[str, Mapping[str, Any]]) -> str:
+    """The seven ablation tables, from completed cell results by key."""
+
+    def speedup(key: str) -> str:
+        return f"{cells[key]['speedup']:.2f}"
+
+    def seconds(key: str, which: str) -> str:
+        return f"{cells[key][which]:.1f}"
+
+    blocks = [
+        render_table(
+            ["partial-write policy", "cc speedup"],
+            [[policy.value, speedup(f"1-partial-write/{policy.value}")]
+             for policy in PartialWritePolicy],
+            title="1. Backing-store partial-write policy (Section 4.3)",
+        ),
+        render_table(
+            ["fragments", "cc speedup"],
+            [
+                ["spanning allowed", speedup("2-fragments/spanning")],
+                ["no spanning", speedup("2-fragments/no-spanning")],
+                ["per-page writes (batch=4K)",
+                 speedup("2-fragments/batch-4k")],
+                ["32-KByte batches", speedup("2-fragments/batch-32k")],
+            ],
+            title="2. Fragment store parameters (Section 4.3)",
+        ),
+        render_table(
+            ["bias", "thrasher speedup", "gold-warm speedup"],
+            [
+                [f"vm_weight={weight:g}",
+                 speedup(f"3-bias/w{weight:g}/thrasher"),
+                 speedup(f"3-bias/w{weight:g}/gold-warm")]
+                for weight in ABLATION_BIAS_WEIGHTS
+            ],
+            title="3. Allocator bias: application-dependent optimum "
+                  "(Section 4.2)",
+        ),
+        render_table(
+            ["algorithm", "cc speedup"],
+            [[name, speedup(f"4-algorithm/{name}")]
+             for name in ("lzrw1", "lzss", "wk", "rle")],
+            title="4. Compression algorithm",
+        ),
+        render_table(
+            ["filesystem", "std (s)", "cc (s)", "cc speedup"],
+            [
+                [fs,
+                 seconds(f"5-filesystem/{fs}", "std_seconds"),
+                 seconds(f"5-filesystem/{fs}", "cc_seconds"),
+                 speedup(f"5-filesystem/{fs}")]
+                for fs in ("ufs", "lfs")
+            ],
+            title="5. Paging into LFS (Sections 3, 5.1)",
+        ),
+        render_table(
+            ["architecture", "cc speedup", "std time (s)"],
+            [
+                [arch,
+                 speedup(f"6-architecture/{arch}"),
+                 seconds(f"6-architecture/{arch}", "std_seconds")]
+                for arch in ("monolithic", "external-pager")
+            ],
+            title="6. In-kernel versus Mach-style external pager "
+                  "(Section 4)",
+        ),
+        render_table(
+            ["outlook", "cc speedup"],
+            [
+                ["1993 baseline", speedup("7-outlook/baseline")],
+                ["hardware compression",
+                 speedup("7-outlook/hardware-compression")],
+                ["8x faster CPU", speedup("7-outlook/cpu-8x")],
+                ["wireless LAN backing store",
+                 speedup("7-outlook/wavelan")],
+                ["modern disk", speedup("7-outlook/modern-hdd")],
+            ],
+            title="7. Section 6 outlook",
+        ),
+    ]
     return "\n\n".join(blocks)

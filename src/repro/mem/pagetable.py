@@ -16,7 +16,7 @@ in the results the way it did in the measured system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .content import PageContent

@@ -19,7 +19,6 @@ compression cache living outside the kernel.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
 
 from ..mem.page import PageId
 

@@ -73,6 +73,42 @@ class RunResult:
             f"({self.sampler_hits}/{self.sampler_hits + self.sampler_misses})"
         )
 
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-serializable copy of every measured field.
+
+        Sweep runners return this from worker processes, so the values
+        must survive ``json.dumps`` → checkpoint → ``json.loads``
+        round-trips bit-for-bit (plain dicts, lists, numbers, strings).
+        """
+        return _jsonable({
+            "elapsed_seconds": self.elapsed_seconds,
+            "metrics": self.metrics_snapshot,
+            "device": self.device_counters,
+            "fs": self.fs_counters,
+            "swap": self.swap_counters,
+            "fragstore": self.fragstore_counters,
+            "ccache": self.ccache_counters,
+            "allocator_victims": self.allocator_victims,
+            "compression_ratio_percent": self.compression_ratio_percent,
+            "uncompressible_percent": self.uncompressible_percent,
+            "time_breakdown": self.time_breakdown,
+            "sampler_hits": self.sampler_hits,
+            "sampler_misses": self.sampler_misses,
+        })
+
+
+def _jsonable(value):
+    """Recursively coerce counters into JSON-native types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    return str(value)
+
 
 class SimulationEngine:
     """Feeds a reference stream to a machine's VM and collects results."""

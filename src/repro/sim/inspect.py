@@ -16,7 +16,7 @@ from typing import List
 
 from ..ccache.circular import CompressionCache
 from ..ccache.header import SlotState
-from ..mem.frames import FrameOwner, FramePool
+from ..mem.frames import FramePool
 from .machine import Machine
 
 _STATE_GLYPHS = {

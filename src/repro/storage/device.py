@@ -12,7 +12,7 @@ and WaveLAN presets), covering the paper's two backing-store environments:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

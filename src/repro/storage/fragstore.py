@@ -22,7 +22,7 @@ Section 4.3's implemented solution for variable-sized compressed pages:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..mem.page import PageId

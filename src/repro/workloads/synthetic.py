@@ -8,7 +8,7 @@ and the read/write mix.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterator
+from typing import Iterator
 
 from ..mem.page import DEFAULT_PAGE_SIZE, PageId, pages_for_bytes
 from ..mem.segment import AddressSpace

@@ -6,7 +6,6 @@ from repro.mem.page import PageId, PageState, mbytes, pages_for_bytes
 from repro.mem.pagetable import (
     CC_PTE_BYTES,
     STD_PTE_BYTES,
-    PageTableEntry,
     page_table_overhead_bytes,
 )
 from repro.mem.segment import AddressSpace

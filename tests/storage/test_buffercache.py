@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mem.frames import FrameOwner, FramePool
+from repro.mem.frames import FramePool
 from repro.storage.blockfs import BlockFileSystem
 from repro.storage.buffercache import BufferCache
 from repro.storage.disk import DiskModel

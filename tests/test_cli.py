@@ -74,3 +74,68 @@ class TestExecution:
             str(tmp_path / "x"),
         ]) == 2
         assert "unknown workload" in capsys.readouterr().err
+
+    def test_trace_record_unwritable_out(self, capsys, tmp_path):
+        assert main([
+            "trace-record", "--workload", "thrasher", "--scale", "0.02",
+            "--max-events", "50",
+            "--out", str(tmp_path / "no" / "such" / "dir" / "t.trace"),
+        ]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_trace_analyze_missing_file(self, capsys, tmp_path):
+        assert main([
+            "trace-analyze", str(tmp_path / "nonexistent.trace"),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+        assert "usage:" in err
+
+    def test_trace_analyze_bad_header(self, capsys, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("this is not a trace\n")
+        assert main(["trace-analyze", str(path)]) == 2
+        assert "not a valid trace" in capsys.readouterr().err
+
+    def test_trace_analyze_truncated(self, capsys, tmp_path):
+        path = tmp_path / "trunc.trace"
+        path.write_text("#repro-trace v1 5\n0 1 r\n")
+        assert main(["trace-analyze", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "not a valid trace" in err
+        assert "truncated" in err
+
+
+class TestSweepCommand:
+    ARGS = ["sweep", "--experiment", "figure3", "--mode", "rw",
+            "--scale", "0.04"]
+
+    def _digest(self, capsys, extra):
+        assert main(self.ARGS + ["--digest"] + extra) == 0
+        return capsys.readouterr().out.strip()
+
+    def test_parallel_digest_equals_serial(self, capsys):
+        serial = self._digest(capsys, ["--jobs", "1"])
+        parallel = self._digest(capsys, ["--jobs", "2"])
+        assert serial == parallel
+        assert len(serial) == 64  # sha256 hex
+
+    def test_resume_writes_checkpoint(self, capsys, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        first = self._digest(capsys, ["--resume", str(ck)])
+        assert ck.exists() and ck.read_text().strip()
+        size = ck.stat().st_size
+        second = self._digest(capsys, ["--resume", str(ck)])
+        assert first == second
+        assert ck.stat().st_size == size  # nothing recomputed
+
+    def test_plain_output_lists_points(self, capsys):
+        assert main(self.ARGS + ["--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "figure3/rw" in out
+        assert "computed" in out
+
+    def test_jobs_option_on_figure3(self, capsys):
+        assert main(["figure3", "--scale", "0.04", "--mode", "rw",
+                     "--jobs", "2"]) == 0
+        assert "Figure 3 (rw)" in capsys.readouterr().out

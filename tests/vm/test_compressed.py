@@ -1,9 +1,7 @@
 """CompressedVM: the compression-cache paging path."""
 
-import pytest
 
-from repro.ccache.threshold import AdaptiveCompressionGate
-from repro.mem.page import PageId, PageState
+from repro.mem.page import PageState
 from repro.sim.engine import SimulationEngine
 from repro.sim.machine import Machine
 from repro.workloads import SyntheticWorkload, Thrasher

@@ -5,7 +5,6 @@ import pytest
 from repro.mem.page import PageId, mbytes
 from repro.pager.interface import PagerError
 from repro.sim.engine import SimulationEngine
-from repro.sim.ledger import TimeCategory
 from repro.sim.machine import Machine, MachineConfig
 from repro.vm.faults import VmConfigurationError
 from repro.workloads import SyntheticWorkload, Thrasher

@@ -7,7 +7,7 @@ purpose and check the paranoid verification path fires.
 
 import pytest
 
-from repro.compression import CompressionResult, Compressor, register
+from repro.compression import CompressionResult, Compressor
 from repro.compression.sampler import CompressionSampler
 from repro.mem.page import PageId, mbytes
 from repro.sim.engine import SimulationEngine

@@ -1,9 +1,8 @@
 """StandardVM: demand paging without compression."""
 
-import pytest
 
 from repro.mem.page import PageId, PageState
-from repro.sim.engine import PageRef, SimulationEngine
+from repro.sim.engine import SimulationEngine
 from repro.sim.machine import Machine
 from repro.workloads import SyntheticWorkload, Thrasher
 

@@ -1,6 +1,5 @@
 """The five paper applications: stream shape and determinism."""
 
-import itertools
 
 import pytest
 
