@@ -37,9 +37,13 @@ def main(argv=None) -> int:
                         help="where BENCH_*.json are written")
     parser.add_argument("--check", type=Path, default=None,
                         help="baseline JSON; exit 1 on speedup regression")
+    parser.add_argument("--profile", nargs="?", const=25, default=None,
+                        type=int, metavar="N",
+                        help="cProfile the simulator and write "
+                             "BENCH_profile.txt (top N functions)")
     args = parser.parse_args(argv)
     return run_harness(args.out_dir, quick=args.quick, check=args.check,
-                       skip_sim=args.skip_sim)
+                       skip_sim=args.skip_sim, profile=args.profile)
 
 
 if __name__ == "__main__":

@@ -115,6 +115,8 @@ class ThreeWayAllocator:
         }
         self._shrinking: set = set()
         self.counters = AllocatorCounters()
+        self._bias_src: Optional[AllocationBiases] = None
+        self._bias_terms: Dict[FrameOwner, tuple] = {}
 
     def register(self, owner: FrameOwner, pool: MemoryPool) -> None:
         """Attach the pool that manages ``owner``'s frames."""
@@ -167,6 +169,21 @@ class ThreeWayAllocator:
         return self.frames.allocate(for_owner)
 
     def _choose_victim(self):
+        biases = self.biases
+        if biases is not self._bias_src:
+            # Flatten the per-owner (weight, bias) pairs once per biases
+            # object; victim choice runs for every reclaimed frame.
+            self._bias_src = biases
+            self._bias_terms = {
+                FrameOwner.FILE_CACHE: (
+                    biases.file_cache_weight, biases.file_cache_bias_s
+                ),
+                FrameOwner.VM: (biases.vm_weight, biases.vm_bias_s),
+                FrameOwner.COMPRESSION: (
+                    biases.ccache_weight, biases.ccache_bias_s
+                ),
+            }
+        terms = self._bias_terms
         now = self._now_fn()
         best = None
         best_age = None
@@ -176,7 +193,8 @@ class ThreeWayAllocator:
             age = pool.coldest_age(now)
             if age is None:
                 continue
-            effective = self.biases.effective_age(owner, age)
+            weight, bias = terms[owner]
+            effective = age * weight + bias
             if best_age is None or effective > best_age:
                 best_age = effective
                 best = (owner, pool)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, Optional, Set, Tuple
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from ..mem.frames import FrameOwner, FramePool
 from ..mem.page import PageId
@@ -57,7 +57,11 @@ class _Entry:
 @dataclass
 class _FrameSlot:
     physical_frame: int
-    pages: Set[PageId] = field(default_factory=set)
+    #: Live pages overlapping this frame, as an insertion-ordered dict
+    #: used as an ordered set.  The buffer tail only grows, so pages are
+    #: registered in ascending-offset order — iteration *is* offset
+    #: order, and eviction needs no per-slot sort.
+    pages: Dict[PageId, None] = field(default_factory=dict)
     #: Count of dirty entries overlapping this frame (kept incrementally
     #: so cleaner scheduling stays O(1) per fault).
     dirty_pages: int = 0
@@ -127,6 +131,7 @@ class CompressionCache:
         self._tail = 0
         self._dirty_entries = 0
         self._dirty_frames = 0
+        self._live_bytes = 0
         # FIFO of potentially dirty pages for the cleaner (lazy deletion:
         # stale ids are skipped when popped).
         self._dirty_fifo: deque = deque()
@@ -158,7 +163,7 @@ class CompressionCache:
     @property
     def live_bytes(self) -> int:
         """Bytes of live compressed data, headers included."""
-        return sum(e.header.footprint for e in self._entries.values())
+        return self._live_bytes
 
     def is_dirty(self, page_id: PageId) -> bool:
         """True when the cached copy holds data not on backing store."""
@@ -188,7 +193,9 @@ class CompressionCache:
                 return SlotState.NEW
         if not slot.pages:
             return SlotState.CLEAN
-        if any(self._entries[p].header.dirty for p in slot.pages):
+        # The per-slot dirty count is maintained incrementally, so no
+        # per-page header scan is needed here.
+        if slot.dirty_pages:
             return SlotState.DIRTY
         return SlotState.CLEAN
 
@@ -196,7 +203,10 @@ class CompressionCache:
         """States of all slots from the oldest mapped frame to the tail."""
         if not self._frames:
             return {}
-        lo = min(self._frames)
+        # Frames are mapped at monotonically increasing indexes (the tail
+        # only grows) and deletions preserve dict order, so the first key
+        # is the minimum — no O(n) min() scan.
+        lo = next(iter(self._frames))
         hi = self._tail_frame_index()
         return {i: self.slot_state(i) for i in range(lo, hi + 1)}
 
@@ -238,20 +248,29 @@ class CompressionCache:
         # for a frame, the allocator may shrink the VM, and the VM's
         # eviction path compresses its victim into this cache, advancing
         # the tail.  Re-read the tail after every acquisition and only
-        # place the entry once it is stable.
-        for _ in range(1000):
-            start = self._tail
-            end = start + header.footprint
-            for index in range(
-                start // self.page_size, (end - 1) // self.page_size + 1
-            ):
-                self._ensure_frame(index)
-            if self._tail == start:
-                break
-        else:
-            raise RuntimeError(
-                "compression cache could not find a stable tail position"
-            )
+        # place the entry once it is stable.  Most inserts land entirely
+        # within frames that are already mapped — that case cannot move
+        # the tail, so it skips the retry loop.
+        page_size = self.page_size
+        frames = self._frames
+        start = self._tail
+        end = start + header.footprint
+        first = start // page_size
+        last = (end - 1) // page_size
+        if not (first in frames and (last == first or last in frames)):
+            for _ in range(1000):
+                start = self._tail
+                end = start + header.footprint
+                for index in range(
+                    start // page_size, (end - 1) // page_size + 1
+                ):
+                    self._ensure_frame(index)
+                if self._tail == start:
+                    break
+            else:
+                raise RuntimeError(
+                    "compression cache could not find a stable tail position"
+                )
         entry = _Entry(
             header=header,
             payload=payload,
@@ -259,13 +278,20 @@ class CompressionCache:
             content_version=content_version,
         )
         self._entries[page_id] = entry
-        for index in self._overlapped(entry):
-            self._frames[index].pages.add(page_id)
+        self._live_bytes += header.footprint
+        frames = self._frames
         if dirty:
             self._dirty_entries += 1
             self._dirty_fifo.append(page_id)
             for index in self._overlapped(entry):
-                self._mark_frame_dirtier(index)
+                slot = frames[index]
+                slot.pages[page_id] = None
+                slot.dirty_pages += 1
+                if slot.dirty_pages == 1:
+                    self._dirty_frames += 1
+        else:
+            for index in self._overlapped(entry):
+                frames[index].pages[page_id] = None
         self._tail = end
         self.counters.inserts += 1
 
@@ -358,7 +384,9 @@ class CompressionCache:
         if victim is None:
             return None
         slot = self._frames[victim]
-        for page_id in sorted(slot.pages, key=lambda p: self._entries[p].offset):
+        # Registration order is ascending offset (the tail only grows),
+        # so a snapshot of the ordered dict replaces the per-slot sort.
+        for page_id in list(slot.pages):
             entry = self._entries[page_id]
             if entry.header.dirty:
                 seconds = self.fragstore.put(page_id, entry.payload)
@@ -424,13 +452,14 @@ class CompressionCache:
 
     def _unlink(self, page_id: PageId) -> None:
         entry = self._entries.pop(page_id)
+        self._live_bytes -= entry.header.footprint
         self._mark_entry_clean(entry)
         tail_index = self._tail_frame_index()
         for index in self._overlapped(entry):
             slot = self._frames.get(index)
             if slot is None:
                 continue
-            slot.pages.discard(page_id)
+            slot.pages.pop(page_id, None)
             if not slot.pages and index != tail_index:
                 self._release_frame(index)
 

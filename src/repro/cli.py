@@ -9,6 +9,7 @@ Usage::
                              [--jobs N] [--resume path.jsonl] [--timeout s]
     compression-cache demo   [--scale 0.2]
     compression-cache perf   [--quick] [--skip-sim] [--check baseline.json]
+                             [--profile [N]]
     compression-cache inspect [--scale 0.1]
     compression-cache trace-record --workload compare --out t.trace
     compression-cache trace-analyze t.trace [--frames 64,256]
@@ -194,6 +195,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         quick=args.quick,
         check=Path(args.check) if args.check else None,
         skip_sim=args.skip_sim,
+        profile=args.profile,
     )
 
 
@@ -331,6 +333,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="directory for BENCH_*.json")
     perf.add_argument("--check", default="",
                       help="baseline JSON; exit 1 on speedup regression")
+    perf.add_argument("--profile", nargs="?", const=25, default=None,
+                      type=int, metavar="N",
+                      help="cProfile the simulator and write "
+                           "BENCH_profile.txt (top N functions, "
+                           "default 25)")
 
     record = sub.add_parser(
         "trace-record", help="record a workload's reference trace"

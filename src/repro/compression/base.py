@@ -92,6 +92,21 @@ class Compressor(ABC):
             CorruptDataError: if ``result`` does not decode cleanly.
         """
 
+    def result_cache_key(self):
+        """Identity under which compress() results may be shared process-wide.
+
+        :class:`~repro.compression.sampler.CompressionSampler` keeps a
+        process-wide content-addressed cache of compression results so
+        that independent machines (sweep points, benchmark reps) do not
+        re-run the kernel on page content another run already compressed.
+        Two compressor instances returning the same key MUST produce
+        bit-identical ``compress()`` output for every input, so the key
+        must include every output-affecting parameter.  Returning ``None``
+        (the default) opts the algorithm out of sharing — the safe choice
+        for anything stateful, randomized, or not known to need it.
+        """
+        return None
+
     def compress_many(self, pages: Iterable[bytes]) -> List[CompressionResult]:
         """Compress a batch of buffers in one call.
 

@@ -127,6 +127,11 @@ class Lzrw1(Compressor):
         self._stamp = [0] * self._table_size
         self._epoch = 0
 
+    def result_cache_key(self):
+        # table_bits changes which candidates the hash table remembers and
+        # therefore the emitted items; it is the only output-affecting knob.
+        return ("lzrw1", self.table_bits)
+
     @property
     def hash_table_bytes(self) -> int:
         """Memory footprint of the hash table (4-byte entries, as in Sprite)."""

@@ -66,6 +66,10 @@ class Lzss(Compressor):
         self._chains = [0] * 4096
         self._epoch = 0
 
+    def result_cache_key(self):
+        # Both knobs steer the match search and change the emitted stream.
+        return ("lzss", self.chain_depth, self.lazy)
+
     @staticmethod
     def _hash(b0: int, b1: int, b2: int) -> int:
         """The 3-byte hash (reference form; compress() precomputes it)."""

@@ -16,11 +16,13 @@ between writes return the same object without copying.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from typing import Dict, Optional
 
 from .page import DEFAULT_PAGE_SIZE, WORD_SIZE
 
+_blake2b = hashlib.blake2b
 _pack_into = struct.pack_into
 _unpack_from = struct.unpack_from
 
@@ -48,6 +50,8 @@ class PageContent:
     __slots__ = (
         "_buf",
         "_materialized",
+        "_fp",
+        "_fp_version",
         "version",
         "page_size",
         "stable_key",
@@ -68,6 +72,11 @@ class PageContent:
             data if data is not None else zero_page(page_size)
         )
         self.version = 0
+        # Fingerprint memo: digest of the bytes at _fp_version.  Word
+        # stores only dirty it (by bumping version); the digest is folded
+        # lazily on the next fingerprint() call.
+        self._fp: Optional[bytes] = None
+        self._fp_version = -1
         #: Optional compressibility memo key.  A workload may set this to
         #: declare that small in-place updates do not materially change
         #: the page's compressed size, letting the sampler reuse one
@@ -82,6 +91,23 @@ class PageContent:
         if data is None:
             data = self._materialized = bytes(self._buf)
         return data
+
+    def fingerprint(self) -> bytes:
+        """BLAKE2b-128 digest of the current bytes, cached per version.
+
+        The value is byte-identical to
+        ``hashlib.blake2b(self.materialize(), digest_size=16).digest()``,
+        which is what :class:`~repro.compression.sampler.CompressionSampler`
+        computes for its memo key — so handing this to the sampler changes
+        nothing about hit/miss behaviour, it only skips re-hashing pages
+        that have not been written since the last measurement.
+        """
+        if self._fp_version != self.version:
+            self._fp = _blake2b(
+                self.materialize(), digest_size=16
+            ).digest()
+            self._fp_version = self.version
+        return self._fp  # type: ignore[return-value]
 
     def replace(self, data: bytes) -> None:
         """Overwrite the whole page (e.g. a workload regenerating it)."""

@@ -17,6 +17,10 @@ from typing import Dict, List, Set
 class FrameOwner(enum.Enum):
     """The three memory consumers the allocator arbitrates between."""
 
+    # Identity hash (see TimeCategory): members are singletons, and the
+    # frame pool keys per-owner counts on them in the allocation path.
+    __hash__ = object.__hash__
+
     VM = "vm"              # uncompressed application pages
     COMPRESSION = "cc"     # the compression cache's circular buffer
     FILE_CACHE = "fs"      # file-system buffer-cache blocks

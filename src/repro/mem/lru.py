@@ -5,12 +5,16 @@ used file block to the age of the LRU VM page, and reclaims the older of
 the two, modulo an adjustment" (Section 4.2).  That needs an LRU structure
 that can answer *how old* its coldest entry is, not just evict it — hence
 each entry carries the virtual timestamp of its last touch.
+
+Backed by a plain insertion-ordered dict: a touch deletes and re-inserts
+the key (moving it to the hot end), eviction pops the first key.  The VM
+access path is the hottest loop in the simulator, so :meth:`hit` fuses the
+membership probe and the re-stamp into one call.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, Iterator, Optional, Tuple, TypeVar
 
 K = TypeVar("K", bound=Hashable)
 
@@ -19,7 +23,7 @@ class LruList(Generic[K]):
     """Ordered set of keys from least- to most-recently used."""
 
     def __init__(self) -> None:
-        self._entries: "OrderedDict[K, float]" = OrderedDict()
+        self._entries: Dict[K, float] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -33,8 +37,22 @@ class LruList(Generic[K]):
 
     def touch(self, key: K, now: float) -> None:
         """Insert ``key`` or move it to the hot end, stamped ``now``."""
-        self._entries[key] = now
-        self._entries.move_to_end(key)
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+        entries[key] = now
+
+    def hit(self, key: K, now: float) -> bool:
+        """Re-stamp ``key`` if present; returns whether it was.
+
+        Equivalent to ``key in lru and lru.touch(key, now)`` in one probe.
+        """
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+            entries[key] = now
+            return True
+        return False
 
     def remove(self, key: K) -> None:
         """Remove ``key``; raises KeyError if absent."""
@@ -46,23 +64,26 @@ class LruList(Generic[K]):
 
     def coldest(self) -> Optional[Tuple[K, float]]:
         """The least-recently-used (key, last-touch time), or None."""
-        if not self._entries:
+        entries = self._entries
+        if not entries:
             return None
-        key = next(iter(self._entries))
-        return key, self._entries[key]
+        key = next(iter(entries))
+        return key, entries[key]
 
     def coldest_age(self, now: float) -> Optional[float]:
         """Age (``now`` minus last touch) of the LRU entry, or None."""
-        entry = self.coldest()
-        if entry is None:
+        entries = self._entries
+        if not entries:
             return None
-        return now - entry[1]
+        return now - entries[next(iter(entries))]
 
     def evict(self) -> K:
         """Pop and return the least-recently-used key."""
-        if not self._entries:
+        entries = self._entries
+        if not entries:
             raise KeyError("evict from empty LRU list")
-        key, _ = self._entries.popitem(last=False)
+        key = next(iter(entries))
+        del entries[key]
         return key
 
     def last_touch(self, key: K) -> float:

@@ -99,6 +99,10 @@ class AddressSpace:
         self.page_size = page_size
         self._segments: Dict[int, Segment] = {}
         self._next_id = 0
+        # Flat PageId -> PTE map shadowing the per-segment dicts.  Safe
+        # because segments never replace or drop an instantiated entry;
+        # it turns the two-level lookup plus bounds check into one get.
+        self._pte_cache: Dict[PageId, PageTableEntry] = {}
 
     def add_segment(
         self,
@@ -127,7 +131,11 @@ class AddressSpace:
 
     def entry(self, page_id: PageId) -> PageTableEntry:
         """The page-table entry for ``page_id``."""
-        return self.segment(page_id.segment).entry(page_id.number)
+        pte = self._pte_cache.get(page_id)
+        if pte is None:
+            pte = self.segment(page_id.segment).entry(page_id.number)
+            self._pte_cache[page_id] = pte
+        return pte
 
     def segments(self) -> Iterator[Segment]:
         """All registered segments."""

@@ -10,6 +10,7 @@ optional application CPU time (the non-memory work of programs like the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Callable, Dict, Iterable, Optional
 
 from ..mem.content import PageContent
@@ -152,12 +153,13 @@ class SimulationEngine:
         charge = ledger.charge
         default_mutation = self._default_mutation
         base = TimeCategory.BASE
+        if max_references is not None:
+            # islice instead of a per-reference bounds check in the loop.
+            references = islice(references, max_references)
         seen = 0
         for ref in references:
-            if max_references is not None and seen >= max_references:
-                break
             seen += 1
-            touch(ref.page_id, write=ref.write)
+            touch(ref.page_id, ref.write)
             if observer is not None and seen % observe_every == 0:
                 observer(machine, seen)
             if ref.write:

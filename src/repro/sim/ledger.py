@@ -17,6 +17,11 @@ from .clock import VirtualClock
 class TimeCategory(enum.Enum):
     """Buckets for elapsed virtual time."""
 
+    # Enum members are singletons compared by identity, so the identity
+    # hash is equivalent to the default name-based one — and C-speed,
+    # which matters because every simulated reference keys _totals on it.
+    __hash__ = object.__hash__
+
     BASE = "base"                  # in-memory references, app compute
     FAULT_TRAP = "fault-trap"      # kernel fault handling overhead
     COMPRESS = "compress"
@@ -42,12 +47,16 @@ class Ledger:
         if seconds < 0:
             raise ValueError(f"negative charge: {seconds}")
         self._totals[category] += seconds
-        self.clock.advance(seconds)
+        # Inlined clock.advance: the negative check above already covers
+        # its contract, and this is the hottest call in the simulator.
+        self.clock._now += seconds
 
     @property
     def now(self) -> float:
-        """Current virtual time."""
-        return self.clock.now
+        """Current virtual time (reads the clock's store directly — this
+        property is on the per-reference path and the extra hop through
+        ``VirtualClock.now`` is measurable)."""
+        return self.clock._now
 
     def total(self, category: TimeCategory | None = None) -> float:
         """Total charged time, overall or for one category."""

@@ -22,6 +22,7 @@ Section 4.3's implemented solution for variable-sized compressed pages:
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -109,6 +110,19 @@ class FragmentStore:
         self._garbage_bytes = 0
         self._batch_start = 0
         self._batch_buf = bytearray()
+        # Offset-ordered index over the live locations, maintained
+        # incrementally so the read path never scans every page:
+        #   _offset_index: sorted live offsets (append-only between GCs —
+        #       the append offset is monotonic — so puts are O(1) and only
+        #       frees pay a bisect + list deletion);
+        #   _page_at: offset -> page holding it (offsets are unique);
+        #   _put_seq: page -> monotone insertion stamp, reproducing the
+        #       store-order the colocated-prefetch list is defined in.
+        self._offset_index: List[int] = []
+        self._page_at: Dict[int, PageId] = {}
+        self._put_seq: Dict[PageId, int] = {}
+        self._next_seq = 0
+        self._live_padded_bytes = 0
 
     # ------------------------------------------------------------------
     # Space accounting
@@ -116,8 +130,8 @@ class FragmentStore:
 
     @property
     def live_bytes(self) -> int:
-        """Padded footprint of all current pages."""
-        return sum(loc.padded_bytes for loc in self._locations.values())
+        """Padded footprint of all current pages (kept incrementally)."""
+        return self._live_padded_bytes
 
     @property
     def file_bytes(self) -> int:
@@ -167,8 +181,21 @@ class FragmentStore:
                     self.counters.spanning_skips += 1
                     self.counters.garbage_bytes_created += skip
 
-        location = FragmentLocation(self._append_offset, len(payload), padded)
+        offset = self._append_offset
+        location = FragmentLocation(offset, len(payload), padded)
         self._locations[page_id] = location
+        # The append offset is monotonic, so a plain append keeps the
+        # index sorted; insort only runs in the (never-taken today)
+        # case of a rewound offset, as cheap insurance.
+        index = self._offset_index
+        if not index or offset > index[-1]:
+            index.append(offset)
+        else:  # pragma: no cover - offsets never rewind outside GC
+            insort(index, offset)
+        self._page_at[offset] = page_id
+        self._put_seq[page_id] = self._next_seq
+        self._next_seq += 1
+        self._live_padded_bytes += padded
         self._batch_buf += payload
         self._batch_buf += bytes(padded - len(payload))
         self._append_offset += padded
@@ -197,6 +224,11 @@ class FragmentStore:
         if old is not None:
             self._garbage_bytes += old.padded_bytes
             self.counters.garbage_bytes_created += old.padded_bytes
+            index = self._offset_index
+            del index[bisect_left(index, old.offset)]
+            del self._page_at[old.offset]
+            del self._put_seq[page_id]
+            self._live_padded_bytes -= old.padded_bytes
 
     # ------------------------------------------------------------------
     # Read path
@@ -216,7 +248,9 @@ class FragmentStore:
         if location.offset >= self._batch_start:
             # Still in the unflushed batch: serve from the staging buffer.
             lo = location.offset - self._batch_start
-            payload = bytes(self._batch_buf[lo : lo + location.nbytes])
+            payload = bytes(
+                memoryview(self._batch_buf)[lo : lo + location.nbytes]
+            )
             self.counters.pages_got += 1
             return payload, 0.0, []
 
@@ -231,13 +265,29 @@ class FragmentStore:
         payload = data[lo : lo + location.nbytes]
         self.counters.pages_got += 1
 
-        colocated = [
-            other
-            for other, loc in self._locations.items()
-            if other != page_id
-            and loc.offset >= aligned_start
-            and loc.offset + loc.nbytes <= min(aligned_end, self._batch_start)
-        ]
+        # Other live pages wholly contained in the transferred blocks.
+        # Their offsets fall in [aligned_start, limit), so the sorted
+        # offset index narrows the scan to the handful of candidate
+        # fragments instead of every stored page; the result is ordered
+        # by put sequence, matching the store-order the full dict scan
+        # used to produce.
+        limit = aligned_end
+        if self._batch_start < limit:
+            limit = self._batch_start
+        index = self._offset_index
+        page_at = self._page_at
+        locations = self._locations
+        colocated = []
+        for i in range(
+            bisect_left(index, aligned_start), bisect_left(index, limit)
+        ):
+            other = page_at[index[i]]
+            if other != page_id and (
+                index[i] + locations[other].nbytes <= limit
+            ):
+                colocated.append(other)
+        if len(colocated) > 1:
+            colocated.sort(key=self._put_seq.__getitem__)
         return payload, seconds, colocated
 
     def peek(self, page_id: PageId) -> bytes:
@@ -247,7 +297,10 @@ class FragmentStore:
             raise KeyError(f"no compressed copy of {page_id} on backing store")
         if location.offset >= self._batch_start:
             lo = location.offset - self._batch_start
-            return bytes(self._batch_buf[lo : lo + location.nbytes])
+            # memoryview slicing: one copy into the result, not two.
+            return bytes(
+                memoryview(self._batch_buf)[lo : lo + location.nbytes]
+            )
         return self.fs.peek(self._file, location.offset, location.nbytes)
 
     # ------------------------------------------------------------------
@@ -268,7 +321,12 @@ class FragmentStore:
                 return 0.0
         seconds = self.flush()
 
-        live = sorted(self._locations.items(), key=lambda kv: kv[1].offset)
+        # The offset index is already sorted, so the collector walks it
+        # directly instead of re-sorting every live location.
+        live = [
+            (self._page_at[offset], self._locations[self._page_at[offset]])
+            for offset in self._offset_index
+        ]
         if not live:
             self.fs.truncate(self._file, 0)
             self._append_offset = 0
@@ -303,6 +361,20 @@ class FragmentStore:
         seconds += self.fs.write(self._file, 0, bytes(compacted))
         self.fs.truncate(self._file, len(compacted))
         self._locations = new_locations
+        # Rebuild the offset index for the compacted layout.  Replacing
+        # ``_locations`` re-orders its iteration to ascending offset, so
+        # the put stamps are reissued in that same order — keeping the
+        # colocated-prefetch ordering identical to a scan of the dict.
+        self._offset_index = [
+            loc.offset for loc in new_locations.values()
+        ]
+        self._page_at = {
+            loc.offset: pid for pid, loc in new_locations.items()
+        }
+        self._put_seq = {}
+        for pid in new_locations:
+            self._put_seq[pid] = self._next_seq
+            self._next_seq += 1
         self._append_offset = len(compacted)
         self._batch_start = len(compacted)
         self._garbage_bytes = new_garbage

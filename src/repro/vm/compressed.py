@@ -244,12 +244,20 @@ class CompressedVM(BaseVM):
             return
 
         if self.gate.open:
-            data = pte.content.materialize()
+            content = pte.content
+            data = content.materialize()
             self.ledger.charge(
                 TimeCategory.COMPRESS, self.costs.compress_seconds(page_size)
             )
             result = self.sampler.compress(
-                data, stable_key=pte.content.stable_key
+                data,
+                stable_key=content.stable_key,
+                # Reuse the page's cached digest so repeat evictions of an
+                # unmodified page skip the full-page hash in the memo probe.
+                fingerprint=(
+                    None if content.stable_key is not None
+                    else content.fingerprint()
+                ),
             )
             kept = self.metrics.compression.record(
                 page_size, result.compressed_size

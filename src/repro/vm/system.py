@@ -92,21 +92,29 @@ class BaseVM(ABC):
 
     def touch(self, page_id: PageId, write: bool = False) -> None:
         """One memory reference; faults and charges time as needed."""
-        self.metrics.accesses += 1
+        metrics = self.metrics
+        metrics.accesses += 1
         if write:
-            self.metrics.write_accesses += 1
+            metrics.write_accesses += 1
         else:
-            self.metrics.read_accesses += 1
-        self.ledger.charge(TimeCategory.BASE, self.costs.base_access_s)
+            metrics.read_accesses += 1
+        ledger = self.ledger
+        ledger.charge(TimeCategory.BASE, self.costs.base_access_s)
 
-        pte = self.address_space.entry(page_id)
-        if page_id in self._resident:
-            self.metrics.resident_hits += 1
+        # Fast path: a resident hit fuses the membership probe with the
+        # LRU re-stamp, and a read hit never needs the page-table entry
+        # at all (a resident page's PTE already exists; only the dirty
+        # bit would touch it).
+        if self._resident.hit(page_id, ledger.now):
+            metrics.resident_hits += 1
+            if write:
+                self.address_space.entry(page_id).dirty = True
         else:
+            pte = self.address_space.entry(page_id)
             self._fault(pte)
-        if write:
-            pte.dirty = True
-        self._resident.touch(page_id, self.ledger.now)
+            if write:
+                pte.dirty = True
+            self._resident.touch(page_id, ledger.now)
         self._after_access()
 
     def _fault(self, pte: PageTableEntry) -> None:

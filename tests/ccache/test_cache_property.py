@@ -46,7 +46,10 @@ def _check_ground_truth(cache):
             p for p, e in cache._entries.items()
             if index in cache._overlapped(e)
         }
-        assert slot.pages == true_pages
+        assert set(slot.pages) == true_pages
+        # shrink_one relies on registration order being ascending offset.
+        offsets = [cache._entries[p].offset for p in slot.pages]
+        assert offsets == sorted(offsets)
         true_dirty = sum(
             1 for p in true_pages if cache._entries[p].header.dirty
         )

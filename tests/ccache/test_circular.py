@@ -254,7 +254,11 @@ def _assert_accounting(cache):
             p for p, e in cache._entries.items()
             if index in cache._overlapped(e)
         }
-        assert slot.pages == true_pages, f"frame {index} pages"
+        assert set(slot.pages) == true_pages, f"frame {index} pages"
+        # shrink_one consumes slot.pages in registration order and
+        # depends on it being ascending by entry offset.
+        offsets = [cache._entries[p].offset for p in slot.pages]
+        assert offsets == sorted(offsets), f"frame {index} page order"
         true_dirty = sum(
             1 for p in true_pages if cache._entries[p].header.dirty
         )

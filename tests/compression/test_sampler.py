@@ -52,6 +52,21 @@ class TestMemoization:
         assert sampler.hits == 0 and sampler.misses == 0
         assert len(sampler._size_cache) == 0
 
+    def test_precomputed_fingerprint_hits_same_entry(self, sampler, rng):
+        data = sample_pages(rng)["text"]
+        fp = CompressionSampler.fingerprint(data)
+        # Seed the memo *without* a fingerprint, probe *with* one (and
+        # vice versa): both spellings must address the same entry.
+        size = sampler.compressed_size(data)
+        assert sampler.compressed_size(data, fingerprint=fp) == size
+        assert sampler.hits == 1
+        assert sampler.compress(data, fingerprint=fp).compressed_size == size
+        assert sampler.compressed_size(data) == size
+        assert sampler.hits == 2
+        # compress() without keep_payloads always *accounts* a miss (the
+        # shared result cache may spare the kernel run, never the count).
+        assert sampler.misses == 2
+
 
 class TestStableKeys:
     def test_stable_key_shares_measurement(self, sampler, rng):
@@ -79,6 +94,77 @@ class TestStableKeys:
         struct.pack_into("<I", base, 0, 0xDEADBEEF)
         size1 = exact.compressed_size(bytes(base))
         assert abs(size1 - size0) < 64
+
+
+class TestSharedResults:
+    """Process-wide content-addressed reuse of deterministic results."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_shared_cache(self):
+        from repro.compression import sampler as sampler_mod
+
+        sampler_mod.clear_shared_results()
+        yield
+        sampler_mod.clear_shared_results()
+
+    @staticmethod
+    def _counting_lzrw1():
+        from repro.compression.lzrw1 import Lzrw1
+
+        class Counting(Lzrw1):
+            calls = 0
+
+            def compress(self, data):
+                Counting.calls += 1
+                return super().compress(data)
+
+        return Counting
+
+    def test_kernel_runs_once_across_instances(self, rng):
+        counting = self._counting_lzrw1()
+        data = sample_pages(rng)["text"]
+        a = CompressionSampler(counting())
+        b = CompressionSampler(counting())
+        assert a.compressed_size(data) == b.compressed_size(data)
+        # Accounting stays per-instance: each sampler saw the content for
+        # the first time, so each counts a miss ...
+        assert (a.misses, b.misses) == (1, 1)
+        # ... but the kernel only ran for the first one.
+        assert counting.calls == 1
+
+    def test_exact_mode_never_replays(self, rng):
+        counting = self._counting_lzrw1()
+        data = sample_pages(rng)["text"]
+        CompressionSampler(counting()).compressed_size(data)
+        exact = CompressionSampler(counting(), exact=True)
+        exact.compressed_size(data)
+        exact.compressed_size(data)
+        assert counting.calls == 3
+
+    def test_stable_key_miss_replays_by_content(self, rng):
+        # The memo key is the stable key, but the kernel-run shortcut is
+        # addressed by the bytes themselves — so a second run measuring
+        # identical content under any stable key skips the kernel.
+        counting = self._counting_lzrw1()
+        data = sample_pages(rng)["text"]
+        a = CompressionSampler(counting())
+        b = CompressionSampler(counting())
+        size_a = a.compressed_size(data, stable_key="run1-page7")
+        size_b = b.compressed_size(data, stable_key="run2-page7")
+        assert size_a == size_b
+        assert (a.misses, b.misses) == (1, 1)
+        assert counting.calls == 1
+
+    def test_stable_keys_never_shared(self, rng):
+        pages = sample_pages(rng)
+        a = CompressionSampler(create("lzrw1"))
+        b = CompressionSampler(create("lzrw1"))
+        a.compressed_size(pages["text"], stable_key="k")
+        # b's first measurement under the same stable key must measure
+        # *its own* bytes — a's mapping of "k" to content is per-run.
+        size_b = b.compressed_size(pages["random"], stable_key="k")
+        exact = CompressionSampler(create("lzrw1"), exact=True)
+        assert size_b == exact.compressed_size(pages["random"])
 
 
 class TestPayloads:

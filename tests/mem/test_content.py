@@ -108,3 +108,39 @@ class TestMaterializeCaching:
 
     def test_len(self):
         assert len(PageContent()) == PAGE
+
+
+class TestFingerprint:
+    def test_matches_sampler_digest(self):
+        import hashlib
+
+        content = PageContent()
+        content.store_word(16, 0xCAFEF00D)
+        expected = hashlib.blake2b(
+            content.materialize(), digest_size=16
+        ).digest()
+        assert content.fingerprint() == expected
+
+    def test_cached_until_written(self):
+        content = PageContent()
+        content.store_word(0, 1)
+        first = content.fingerprint()
+        assert content.fingerprint() is first  # same object, no re-hash
+        content.store_word(0, 2)
+        second = content.fingerprint()
+        assert second != first
+
+    def test_replace_invalidates(self):
+        content = PageContent()
+        before = content.fingerprint()
+        content.replace(b"\x09" * PAGE)
+        assert content.fingerprint() != before
+
+    def test_same_bytes_same_fingerprint(self):
+        a = PageContent()
+        b = PageContent()
+        # Different write histories converging on identical bytes must
+        # agree: the sampler keys its memo on these digests.
+        a.store_word(0, 5)
+        a.store_word(0, 0)
+        assert a.fingerprint() == b.fingerprint()

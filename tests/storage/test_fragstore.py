@@ -53,6 +53,26 @@ class TestRoundTrip:
         store.flush()
         assert store.peek(PageId(0, 2)) == store.get(PageId(0, 2))[0]
 
+    def test_peek_matches_get_in_staging_batch(self):
+        # The prefetch path may serve a page that has not been flushed
+        # yet; peek's memoryview slicing of the staging buffer must hand
+        # back exactly the bytes get() would, as a real ``bytes`` object.
+        store = make_store()
+        payloads = {
+            PageId(0, n): bytes([0x40 + n]) * (300 + 111 * n)
+            for n in range(4)
+        }
+        for page_id, payload in payloads.items():
+            store.put(page_id, payload)
+        for page_id, payload in payloads.items():
+            peeked = store.peek(page_id)
+            assert type(peeked) is bytes
+            assert peeked == payload
+            got, seconds, _ = store.get(page_id)
+            assert type(got) is bytes
+            assert got == peeked
+            assert seconds == 0.0  # staged data costs no I/O
+
     def test_missing_page_raises(self):
         store = make_store()
         with pytest.raises(KeyError):

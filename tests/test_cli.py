@@ -55,6 +55,40 @@ class TestExecution:
         assert "compression cache:" in out
         assert "legend" in out
 
+    def test_perf_profile_writes_report(self, capsys, tmp_path, monkeypatch):
+        # Keep the run small: profile one tiny workload, skip the sim
+        # throughput pass, shrink the kernel corpus.
+        import repro.perf as perf
+
+        monkeypatch.setattr(
+            perf, "bench_compression",
+            lambda *a, **k: {"aggregate": {}, "kinds": {}},
+        )
+        monkeypatch.setattr(perf, "bench_micro", lambda **k: {"reps": 1})
+        real_profile_sim = perf.profile_sim
+        monkeypatch.setattr(
+            perf, "profile_sim",
+            lambda scale, top_n: real_profile_sim(
+                scale=0.02, top_n=top_n, workloads=["thrasher"]
+            ),
+        )
+        assert main([
+            "perf", "--quick", "--skip-sim", "--profile", "7",
+            "--out-dir", str(tmp_path),
+        ]) == 0
+        report = (tmp_path / "BENCH_profile.txt").read_text()
+        assert "per-subsystem tottime" in report
+        assert "top 7 functions by cumulative time" in report
+        assert "repro.vm" in report
+        out = capsys.readouterr().out
+        assert "BENCH_profile.txt" in out
+
+    def test_perf_profile_flag_parses_bare(self):
+        args = build_parser().parse_args(["perf", "--profile"])
+        assert args.profile == 25
+        args = build_parser().parse_args(["perf"])
+        assert args.profile is None
+
     def test_trace_record_and_analyze(self, capsys, tmp_path):
         path = str(tmp_path / "t.trace")
         assert main([

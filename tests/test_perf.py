@@ -1,0 +1,124 @@
+"""Perf harness plumbing: micro-benchmarks, profiling, baseline checks.
+
+The actual throughput numbers are host-dependent and not asserted here;
+these tests cover the machinery — report shapes, attribution bucketing,
+and the regression-check logic CI relies on.
+"""
+
+import json
+
+from repro.perf import (
+    SIM_CHECK_TOLERANCE,
+    _subsystem_of,
+    bench_micro,
+    check_against_baseline,
+    profile_sim,
+)
+
+
+class TestSubsystemAttribution:
+    def test_repro_packages(self):
+        assert _subsystem_of(
+            "/x/src/repro/compression/lzrw1.py"
+        ) == "repro.compression"
+        assert _subsystem_of("/x/src/repro/perf.py") == "repro.perf"
+
+    def test_non_repro(self):
+        assert _subsystem_of("~") == "builtins"
+        assert _subsystem_of("<string>") == "builtins"
+        assert _subsystem_of("/usr/lib/python3/json/decoder.py") == (
+            "stdlib/other"
+        )
+
+
+class TestBenchMicro:
+    def test_reports_positive_rates(self):
+        result = bench_micro(reps=1)
+        for key in (
+            "lru_touch_evict_ops_s",
+            "fragstore_put_get_gc_ops_s",
+            "sampler_hit_miss_ops_s",
+        ):
+            assert result[key] > 0, key
+
+
+class TestProfileSim:
+    def test_report_sections(self):
+        report = profile_sim(scale=0.02, top_n=5, workloads=["thrasher"])
+        assert "per-subsystem tottime" in report
+        assert "repro.vm" in report
+        assert "by cumulative time" in report
+
+
+def _write_baseline(tmp_path, **extra):
+    baseline = {"aggregate_speedup": {"lzrw1": 2.0}}
+    baseline.update(extra)
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(baseline))
+    return path
+
+
+def _compression(speedup=2.0):
+    return {"aggregate": {"lzrw1": {"speedup": speedup}}}
+
+
+def _sim(scale=0.05, pps=1000.0):
+    return {
+        "scale": scale,
+        "workloads": {"thrasher": {"pages_per_second": pps}},
+    }
+
+
+class TestBaselineCheck:
+    def test_sim_within_tolerance_passes(self, tmp_path):
+        path = _write_baseline(
+            tmp_path, sim_scale=0.05,
+            sim_pages_per_second={"thrasher": 1000.0},
+        )
+        ok_pps = 1000.0 * (1.0 - SIM_CHECK_TOLERANCE) + 1
+        assert check_against_baseline(
+            _compression(), path, sim=_sim(pps=ok_pps)
+        ) == []
+
+    def test_sim_regression_fails(self, tmp_path):
+        path = _write_baseline(
+            tmp_path, sim_scale=0.05,
+            sim_pages_per_second={"thrasher": 1000.0},
+        )
+        bad_pps = 1000.0 * (1.0 - SIM_CHECK_TOLERANCE) - 1
+        failures = check_against_baseline(
+            _compression(), path, sim=_sim(pps=bad_pps)
+        )
+        assert len(failures) == 1
+        assert "thrasher" in failures[0]
+
+    def test_scale_mismatch_skips_sim_check(self, tmp_path):
+        path = _write_baseline(
+            tmp_path, sim_scale=0.05,
+            sim_pages_per_second={"thrasher": 1000.0},
+        )
+        assert check_against_baseline(
+            _compression(), path, sim=_sim(scale=0.12, pps=1.0)
+        ) == []
+
+    def test_missing_workload_fails(self, tmp_path):
+        path = _write_baseline(
+            tmp_path, sim_scale=0.05,
+            sim_pages_per_second={"compare": 1000.0},
+        )
+        failures = check_against_baseline(
+            _compression(), path, sim=_sim()
+        )
+        assert failures and "compare" in failures[0]
+
+    def test_no_sim_skips_sim_check(self, tmp_path):
+        path = _write_baseline(
+            tmp_path, sim_scale=0.05,
+            sim_pages_per_second={"thrasher": 1000.0},
+        )
+        assert check_against_baseline(_compression(), path, sim=None) == []
+
+    def test_kernel_speedup_regression_still_fails(self, tmp_path):
+        path = _write_baseline(tmp_path)
+        failures = check_against_baseline(_compression(speedup=1.0), path)
+        assert failures and "lzrw1" in failures[0]
