@@ -29,6 +29,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
+from ..faults.errors import PagingFaultError
 from ..mem.frames import FrameOwner, FramePool
 from ..mem.page import PageId
 from ..sim.ledger import Ledger, TimeCategory
@@ -106,6 +107,11 @@ class CompressionCache:
             paper's variable-size design governed by the global allocator;
             a number reproduces the original fixed-size prototype of
             Section 4.2.
+        resilience: fault-layer counters; ``None`` disables resilience
+            accounting (the default, digest-identical configuration).
+        retry: a :class:`~repro.faults.retry.ResilientIO`; when set,
+            write-out failures are retried (and the cleaner re-queues
+            pages whose write-out could not complete).
     """
 
     def __init__(
@@ -116,6 +122,8 @@ class CompressionCache:
         page_size: int = 4096,
         frame_provider: Optional[FrameProvider] = None,
         max_frames: Optional[int] = None,
+        resilience=None,
+        retry=None,
     ):
         if max_frames is not None and max_frames < 1:
             raise ValueError(f"max_frames must be >= 1: {max_frames}")
@@ -125,6 +133,8 @@ class CompressionCache:
         self.page_size = page_size
         self.frame_provider = frame_provider
         self.max_frames = max_frames
+        self.resilience = resilience
+        self.retry = retry
         self.counters = CacheCounters()
         self._entries: Dict[PageId, _Entry] = {}
         self._frames: Dict[int, _FrameSlot] = {}
@@ -362,7 +372,19 @@ class CompressionCache:
             entry = self._entries.get(page_id)
             if entry is None or not entry.header.dirty:
                 continue  # stale FIFO entry (page removed or cleaned)
-            seconds = self.fragstore.put(page_id, entry.payload)
+            try:
+                seconds = self.fragstore.put(page_id, entry.payload)
+            except PagingFaultError as exc:
+                # The write-out failed (an injected device fault inside
+                # the batch flush).  Charge the failed attempt, put the
+                # page back at the *front* of the FIFO so it stays the
+                # cleaner's first candidate, and stop this round — the
+                # dirty data is not lost, just not yet durable.
+                self.ledger.charge(TimeCategory.CLEANER, exc.seconds)
+                self._dirty_fifo.appendleft(page_id)
+                if self.resilience is not None:
+                    self.resilience.cleaner_requeues += 1
+                break
             self.ledger.charge(TimeCategory.CLEANER, seconds)
             self._mark_entry_clean(entry)
             entry.header.on_backing_store = True
@@ -389,7 +411,7 @@ class CompressionCache:
         for page_id in list(slot.pages):
             entry = self._entries[page_id]
             if entry.header.dirty:
-                seconds = self.fragstore.put(page_id, entry.payload)
+                seconds = self._put_resilient(page_id, entry.payload)
                 self.ledger.charge(TimeCategory.IO_WRITE, seconds)
                 self._mark_entry_clean(entry)
                 entry.header.on_backing_store = True
@@ -404,6 +426,25 @@ class CompressionCache:
             # survived (it was empty to begin with), release it here.
             self._release_frame(victim)
         return 0.0
+
+    def _put_resilient(self, page_id: PageId, payload: bytes) -> float:
+        """A ``fragstore.put`` that must not fail (the shrink path owes
+        the allocator a frame).  On a write fault the page is already
+        staged in the store's batch — readable from there, durable at the
+        next successful flush — so charge the failed attempt, retry the
+        idempotent flush if a retry policy is wired in, and carry on
+        either way."""
+        try:
+            return self.fragstore.put(page_id, payload)
+        except PagingFaultError as exc:
+            self.ledger.charge(TimeCategory.IO_WRITE, exc.seconds)
+            if self.retry is not None:
+                flushed = self.retry.try_call(
+                    self.fragstore.flush, TimeCategory.IO_WRITE
+                )
+                if flushed is not None:
+                    return flushed
+            return 0.0
 
     def evicted_to_backing_store(self, page_id: PageId) -> bool:
         """True when the page's current copy lives in the fragment store."""

@@ -2,6 +2,9 @@
 
 Usage::
 
+    compression-cache run    --workload compare [--scale 0.05]
+                             [--faults plan.json] [--drain] [--paranoid]
+                             [--digest | --json]
     compression-cache figure1
     compression-cache figure3 [--scale 0.2] [--mode rw|ro|both] [--jobs N]
     compression-cache table1 [--scale 0.2] [--rows compare,isca] [--jobs N]
@@ -67,6 +70,53 @@ WORKLOAD_FACTORIES = {
         mbytes(8 * scale), references=max(500, int(40000 * scale))
     ),
 }
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Run one named workload, optionally under a fault plan."""
+    import hashlib
+    import json
+
+    from .sim.engine import run_workload
+
+    factory = WORKLOAD_FACTORIES.get(args.workload)
+    if factory is None:
+        known = ", ".join(sorted(WORKLOAD_FACTORIES))
+        print(f"unknown workload {args.workload!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    plan = None
+    if args.faults:
+        from .faults.plan import FaultPlan, FaultPlanError
+
+        try:
+            plan = FaultPlan.from_json(args.faults)
+        except (OSError, FaultPlanError) as exc:
+            print(f"run: cannot load fault plan {args.faults!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    workload = factory(args.scale)
+    config = MachineConfig(
+        memory_bytes=mbytes(args.memory_mb * args.scale),
+        fault_plan=plan,
+        paranoid=args.paranoid,
+    )
+    machine = Machine(config, workload.build())
+    result = run_workload(machine, workload.references(), drain=args.drain)
+    payload = result.as_dict()
+    if args.digest:
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        print(hashlib.sha256(canonical.encode()).hexdigest())
+        return 0
+    if args.json:
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    print(result.summary())
+    if result.fault_counters is not None:
+        for name, value in result.fault_counters.items():
+            print(f"  {name}: {value}")
+    return 0
 
 
 def _cmd_figure1(_args: argparse.Namespace) -> int:
@@ -273,6 +323,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("figure1", help="analytic speedup surfaces")
 
+    run = sub.add_parser(
+        "run", help="run one workload, optionally under a fault plan"
+    )
+    run.add_argument("--workload", required=True,
+                     help=f"one of: {', '.join(sorted(WORKLOAD_FACTORIES))}")
+    run.add_argument("--scale", type=float, default=0.05)
+    run.add_argument("--memory-mb", type=float, default=6.0,
+                     help="user memory in MBytes before --scale is applied")
+    run.add_argument("--faults", default="", metavar="PLAN.json",
+                     help="fault-injection plan (see docs/faults.md)")
+    run.add_argument("--drain", action="store_true",
+                     help="evict and flush everything at the end")
+    run.add_argument("--paranoid", action="store_true",
+                     help="verify every decompression round trip")
+    run.add_argument("--digest", action="store_true",
+                     help="print only a sha256 of the full result (the "
+                          "chaos determinism check)")
+    run.add_argument("--json", action="store_true",
+                     help="print the full result as JSON")
+
     def add_sweep_options(command: argparse.ArgumentParser) -> None:
         command.add_argument(
             "--jobs", type=int, default=1,
@@ -357,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 _COMMANDS = {
+    "run": _cmd_run,
     "figure1": _cmd_figure1,
     "figure3": _cmd_figure3,
     "table1": _cmd_table1,

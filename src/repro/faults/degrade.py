@@ -1,0 +1,166 @@
+"""Resilience accounting and graceful compression degradation.
+
+:class:`ResilienceCounters` is the single accumulator for everything the
+fault/resilience layer does: injected faults, retries, backoff time,
+checksum verifications, recoveries, and degradation transitions.  It is a
+*separate* object from the digest-pinned per-component counters
+(``FragStoreCounters``, ``DeviceCounters``, …) on purpose: a default run
+builds no :class:`ResilienceCounters` at all, so ``RunResult.as_dict()``
+emits exactly the bytes it always has and the golden digests stay frozen.
+
+:class:`DegradationController` is the "bypass compression when the
+substrate misbehaves" state machine:
+
+::
+
+    NORMAL --(fault fraction over window >= threshold)--> DEGRADED
+    DEGRADED --(cooldown_evictions write-out evictions)--> NORMAL
+
+While DEGRADED, the VM routes evictions straight to the uncompressed
+swap — the same fallback the paper prescribes for incompressible pages —
+so a crashing compressor or a corrupting fragment store degrades service
+instead of failing it.  On re-enable the observation window is cleared,
+giving the substrate a fresh chance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from .plan import DegradationConfig
+
+
+@dataclass
+class ResilienceCounters:
+    """Everything the fault-injection and resilience layers count.
+
+    Only built when a :class:`~repro.faults.plan.FaultPlan` is installed;
+    reported as the ``resilience`` key of ``RunResult.as_dict()``.
+    """
+
+    # Injected faults, by site.
+    device_read_errors: int = 0
+    device_write_errors: int = 0
+    latency_spikes: int = 0
+    latency_spike_seconds: float = 0.0
+    fragment_corruptions: int = 0
+    sticky_corruptions: int = 0
+    compressor_crashes: int = 0
+    compressor_expansions: int = 0
+
+    # Retry machinery.
+    retries: int = 0
+    retry_backoff_seconds: float = 0.0
+    retries_exhausted: int = 0
+    recovered_operations: int = 0     # failed at least once, then succeeded
+
+    # Checksum path.
+    crc_checks: int = 0
+    crc_failures: int = 0
+
+    # Fallback recoveries.
+    backstop_refetches: int = 0       # reconstructed from the paging server
+    deferred_writebacks: int = 0      # write-out abandoned; page re-created
+    cleaner_requeues: int = 0         # dirty page put back on the FIFO
+
+    # Degradation state machine.
+    degradation_entries: int = 0
+    degradation_exits: int = 0
+    bypassed_evictions: int = 0
+
+    @property
+    def injected_faults(self) -> int:
+        """Total injected fault events across all sites."""
+        return (
+            self.device_read_errors
+            + self.device_write_errors
+            + self.latency_spikes
+            + self.fragment_corruptions
+            + self.compressor_crashes
+            + self.compressor_expansions
+        )
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy for :class:`~repro.sim.engine.RunResult`."""
+        return {
+            "injected_faults": self.injected_faults,
+            "device_read_errors": self.device_read_errors,
+            "device_write_errors": self.device_write_errors,
+            "latency_spikes": self.latency_spikes,
+            "latency_spike_seconds": self.latency_spike_seconds,
+            "fragment_corruptions": self.fragment_corruptions,
+            "sticky_corruptions": self.sticky_corruptions,
+            "compressor_crashes": self.compressor_crashes,
+            "compressor_expansions": self.compressor_expansions,
+            "retries": self.retries,
+            "retry_backoff_seconds": self.retry_backoff_seconds,
+            "retries_exhausted": self.retries_exhausted,
+            "recovered_operations": self.recovered_operations,
+            "crc_checks": self.crc_checks,
+            "crc_failures": self.crc_failures,
+            "backstop_refetches": self.backstop_refetches,
+            "deferred_writebacks": self.deferred_writebacks,
+            "cleaner_requeues": self.cleaner_requeues,
+            "degradation_entries": self.degradation_entries,
+            "degradation_exits": self.degradation_exits,
+            "bypassed_evictions": self.bypassed_evictions,
+        }
+
+
+@dataclass
+class DegradationController:
+    """NORMAL ⇄ DEGRADED gate over the compression path."""
+
+    config: DegradationConfig
+    resilience: ResilienceCounters
+    _events: deque = field(init=False)
+    _bad: int = field(default=0, init=False)
+    _cooldown_left: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._events = deque(maxlen=self.config.window)
+
+    @property
+    def degraded(self) -> bool:
+        """True while compression is bypassed."""
+        return self._cooldown_left > 0
+
+    @property
+    def compression_allowed(self) -> bool:
+        return self._cooldown_left == 0
+
+    def record(self, ok: bool) -> None:
+        """Note one compression-path event (attempt or detected corruption).
+
+        ``ok=False`` events are compressor crashes, injected expansions,
+        and fragment checksum failures.  Events observed while already
+        DEGRADED are ignored — the window restarts clean on re-enable.
+        """
+        if self._cooldown_left:
+            return
+        events = self._events
+        # Keep a running bad-event count so each record() is O(1), not
+        # an O(window) rescan — this runs once per eviction.
+        if len(events) == events.maxlen and not events[0]:
+            self._bad -= 1
+        events.append(ok)
+        if not ok:
+            self._bad += 1
+        count = len(events)
+        if count < self.config.min_events:
+            return
+        if self._bad / count >= self.config.fault_threshold:
+            self._cooldown_left = self.config.cooldown_evictions
+            events.clear()
+            self._bad = 0
+            self.resilience.degradation_entries += 1
+
+    def note_bypassed_eviction(self) -> None:
+        """Tick the cooldown: one eviction took the uncompressed path."""
+        if not self._cooldown_left:
+            return
+        self.resilience.bypassed_evictions += 1
+        self._cooldown_left -= 1
+        if self._cooldown_left == 0:
+            self.resilience.degradation_exits += 1

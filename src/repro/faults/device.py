@@ -1,0 +1,59 @@
+"""A fault-injecting wrapper around any :class:`BackingDevice`.
+
+The wrapper duck-types the device interface the file-system layer uses
+(``read``, ``write``, ``counters``).  Failed attempts raise
+:class:`~repro.faults.errors.TransientIOError` /
+:class:`~repro.faults.errors.PermanentIOError` carrying the virtual time
+the attempt consumed; they do **not** touch the wrapped device's
+counters, which therefore keep meaning "successful transfers" — exactly
+the accounting reports have always shown.  Latency spikes ride on
+successful transfers and surface only in the returned seconds (and the
+resilience counters), again leaving the device's own busy-time as the
+fault-free cost.
+"""
+
+from __future__ import annotations
+
+from ..storage.device import BackingDevice, DeviceCounters
+from .errors import PermanentIOError, TransientIOError
+from .injectors import FaultInjector
+
+
+class FaultyDevice:
+    """Injects transfer errors and latency spikes over a real device."""
+
+    def __init__(self, inner: BackingDevice, injector: FaultInjector):
+        self.inner = inner
+        self.injector = injector
+
+    @property
+    def counters(self) -> DeviceCounters:
+        """Successful-transfer accounting of the wrapped device."""
+        return self.inner.counters
+
+    def _transfer_seconds(self, nbytes: int, sequential: bool) -> float:
+        return self.inner._transfer_seconds(nbytes, sequential)
+
+    def read(self, nbytes: int, sequential: bool = False) -> float:
+        decision = self.injector.device_transfer("read")
+        if decision.error is not None:
+            seconds = (
+                self.inner._transfer_seconds(nbytes, sequential)
+                * decision.attempt_fraction
+            )
+            if decision.error == "permanent":
+                raise PermanentIOError("read", nbytes, seconds)
+            raise TransientIOError("read", nbytes, seconds)
+        return self.inner.read(nbytes, sequential) + decision.spike_seconds
+
+    def write(self, nbytes: int, sequential: bool = False) -> float:
+        decision = self.injector.device_transfer("write")
+        if decision.error is not None:
+            seconds = (
+                self.inner._transfer_seconds(nbytes, sequential)
+                * decision.attempt_fraction
+            )
+            if decision.error == "permanent":
+                raise PermanentIOError("write", nbytes, seconds)
+            raise TransientIOError("write", nbytes, seconds)
+        return self.inner.write(nbytes, sequential) + decision.spike_seconds

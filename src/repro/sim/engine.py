@@ -56,6 +56,10 @@ class RunResult:
     time_breakdown: Dict[str, float] = field(default_factory=dict)
     sampler_hits: int = 0
     sampler_misses: int = 0
+    #: Fault-layer counters; ``None`` unless a fault plan was installed
+    #: (keeping the serialized form — and its digests — unchanged for
+    #: every plan-free run).
+    fault_counters: Optional[Dict[str, object]] = None
 
     @property
     def sampler_hit_rate(self) -> float:
@@ -81,7 +85,7 @@ class RunResult:
         must survive ``json.dumps`` → checkpoint → ``json.loads``
         round-trips bit-for-bit (plain dicts, lists, numbers, strings).
         """
-        return _jsonable({
+        payload = {
             "elapsed_seconds": self.elapsed_seconds,
             "metrics": self.metrics_snapshot,
             "device": self.device_counters,
@@ -95,7 +99,10 @@ class RunResult:
             "time_breakdown": self.time_breakdown,
             "sampler_hits": self.sampler_hits,
             "sampler_misses": self.sampler_misses,
-        })
+        }
+        if self.fault_counters is not None:
+            payload["resilience"] = self.fault_counters
+        return _jsonable(payload)
 
 
 def _jsonable(value):
@@ -212,6 +219,11 @@ class SimulationEngine:
             compression_ratio_percent=metrics.compression.mean_ratio_percent,
             uncompressible_percent=metrics.compression.uncompressible_percent,
             time_breakdown=machine.ledger.breakdown(),
+            fault_counters=(
+                machine.resilience.snapshot()
+                if machine.resilience is not None
+                else None
+            ),
         )
 
 

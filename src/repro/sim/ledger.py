@@ -31,6 +31,7 @@ class TimeCategory(enum.Enum):
     IO_WRITE = "io-write"
     CLEANER = "cleaner"            # background write-out (charged in-line)
     GC = "gc"                      # compressed-swap garbage collection
+    RETRY_BACKOFF = "retry-backoff"  # waits between failed-I/O attempts
 
 
 class Ledger:

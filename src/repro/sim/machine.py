@@ -27,6 +27,9 @@ from ..ccache.threshold import AdaptiveCompressionGate
 from ..compression import create as create_compressor
 from ..compression.sampler import CompressionSampler
 from ..compression.stats import CompressionThreshold
+from ..faults.degrade import DegradationController, ResilienceCounters
+from ..faults.device import FaultyDevice
+from ..faults.plan import FaultPlan
 from ..mem.frames import FrameOwner, FramePool
 from ..mem.page import mbytes
 from ..mem.pagetable import page_table_overhead_bytes
@@ -94,6 +97,24 @@ class MachineConfig:
     exact_compression: bool = False
     #: Verify every decompression round trip (forces exact compression).
     paranoid: bool = False
+    #: Deterministic fault-injection plan; ``None`` (the default) builds
+    #: no fault machinery at all and leaves the hot path untouched.
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "memory_bytes", "page_size", "fragment_size", "batch_bytes"
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(
+                    f"MachineConfig.{name} must be positive, got {value!r}"
+                )
+        if self.threshold_factor <= 0:
+            raise ValueError(
+                "MachineConfig.threshold_factor must be positive, got "
+                f"{self.threshold_factor!r}"
+            )
 
     def variant(self, **changes) -> "MachineConfig":
         """A copy with the given fields replaced."""
@@ -136,6 +157,31 @@ class Machine:
                 f"unknown device preset {config.device!r}; known: {known}"
             )
         self.device = device_factory()
+
+        # Fault machinery exists only when a plan is installed; the
+        # default leaves every component exactly as it always was.
+        plan = config.fault_plan
+        if plan is not None:
+            from ..faults.retry import ResilientIO
+
+            self.resilience: Optional[ResilienceCounters] = (
+                ResilienceCounters()
+            )
+            self.injector = plan.build(self.resilience)
+            self.retry = ResilientIO(
+                plan.retry_policy(), self.ledger, self.resilience
+            )
+            self.degradation: Optional[DegradationController] = (
+                DegradationController(plan.degradation, self.resilience)
+            )
+            if plan.device.enabled:
+                self.device = FaultyDevice(self.device, self.injector)
+        else:
+            self.resilience = None
+            self.injector = None
+            self.retry = None
+            self.degradation = None
+
         if config.filesystem == "ufs":
             self.fs = BlockFileSystem(
                 self.device,
@@ -184,6 +230,8 @@ class Machine:
                 fragment_size=config.fragment_size,
                 batch_bytes=config.batch_bytes,
                 allow_spanning=config.allow_spanning,
+                resilience=self.resilience,
+                injector=self.injector,
             )
             self.sampler = CompressionSampler(
                 create_compressor(config.compressor),
@@ -197,6 +245,8 @@ class Machine:
                 page_size=config.page_size,
                 frame_provider=self.allocator.obtain_frame,
                 max_frames=config.ccache_max_frames,
+                resilience=self.resilience,
+                retry=self.retry,
             )
             self.allocator.register(FrameOwner.COMPRESSION, self.ccache)
             self.gate = AdaptiveCompressionGate(enabled=config.adaptive_gate)
@@ -215,6 +265,10 @@ class Machine:
                     gate=self.gate,
                     cleaner=config.cleaner,
                     frames=self.frames,
+                    resilience=self.resilience,
+                    injector=self.injector,
+                    retry=self.retry,
+                    degradation=self.degradation,
                 )
                 self.vm: BaseVM = ExternalPagerVM(
                     address_space=address_space,
@@ -245,6 +299,10 @@ class Machine:
                     min_resident_frames=config.min_resident_frames,
                     prefetch_colocated=config.prefetch_colocated,
                     paranoid=config.paranoid,
+                    resilience=self.resilience,
+                    injector=self.injector,
+                    retry=self.retry,
+                    degradation=self.degradation,
                 )
                 self.vm.metrics.compression.threshold = CompressionThreshold(
                     config.threshold_factor
@@ -274,6 +332,8 @@ class Machine:
                 swap=self.swap,
                 min_resident_frames=config.min_resident_frames,
                 paranoid=config.paranoid,
+                resilience=self.resilience,
+                retry=self.retry,
             )
 
     def _metadata_bytes(self) -> int:

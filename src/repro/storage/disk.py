@@ -45,10 +45,27 @@ class DiskModel(BackingDevice):
         streaming_threshold_bytes: int = 32768,
     ):
         super().__init__()
-        if avg_seek_ms < 0 or rpm <= 0 or bandwidth_bytes_per_s <= 0:
-            raise ValueError("disk parameters must be positive")
+        if avg_seek_ms < 0:
+            raise ValueError(
+                f"disk avg_seek_ms must be non-negative, got {avg_seek_ms!r}"
+            )
+        if rpm <= 0:
+            raise ValueError(f"disk rpm must be positive, got {rpm!r}")
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError(
+                "disk bandwidth_bytes_per_s must be positive, got "
+                f"{bandwidth_bytes_per_s!r}"
+            )
+        if fixed_overhead_ms < 0:
+            raise ValueError(
+                "disk fixed_overhead_ms must be non-negative, got "
+                f"{fixed_overhead_ms!r}"
+            )
         if streaming_threshold_bytes < 0:
-            raise ValueError("streaming threshold must be non-negative")
+            raise ValueError(
+                "disk streaming_threshold_bytes must be non-negative, got "
+                f"{streaming_threshold_bytes!r}"
+            )
         self.avg_seek_s = avg_seek_ms / 1000.0
         self.full_rotation_s = 60.0 / rpm
         self.avg_rotation_s = 0.5 * self.full_rotation_s

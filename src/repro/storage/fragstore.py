@@ -22,10 +22,12 @@ Section 4.3's implemented solution for variable-sized compressed pages:
 
 from __future__ import annotations
 
+import zlib
 from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..faults.errors import FragmentChecksumError, MissingFragmentError
 from ..mem.page import PageId
 from .blockfs import BlockFile, BlockFileSystem
 
@@ -37,6 +39,7 @@ class FragmentLocation:
     offset: int
     nbytes: int          # true payload length (padding stripped on read)
     padded_bytes: int    # fragment-aligned footprint
+    crc32: int = 0       # checksum of the payload, verified on every read
 
 
 @dataclass
@@ -77,6 +80,12 @@ class FragmentStore:
         gc_threshold: garbage fraction beyond which :meth:`maybe_collect`
             compacts the file.
         gc_min_bytes: don't bother collecting files smaller than this.
+        resilience: :class:`~repro.faults.degrade.ResilienceCounters` to
+            count checksum verifications and failures in; ``None`` (the
+            default) skips all resilience accounting.
+        injector: :class:`~repro.faults.injectors.FaultInjector` whose
+            ``corrupt_fragment`` hook may bit-flip payloads on read;
+            ``None`` disables injection entirely.
     """
 
     def __init__(
@@ -87,6 +96,8 @@ class FragmentStore:
         allow_spanning: bool = True,
         gc_threshold: float = 0.5,
         gc_min_bytes: int = 1 << 20,
+        resilience=None,
+        injector=None,
     ):
         if fragment_size <= 0 or fs.block_size % fragment_size:
             raise ValueError(
@@ -104,6 +115,15 @@ class FragmentStore:
         self.gc_threshold = gc_threshold
         self.gc_min_bytes = gc_min_bytes
         self.counters = FragStoreCounters()
+        self.resilience = resilience
+        self.injector = injector
+        #: Incremented by every collection; :class:`MissingFragmentError`
+        #: carries it so callers can tell "reclaimed" from "never written".
+        self.gc_generation = 0
+        #: Payloads damaged in the medium itself (sticky corruption):
+        #: re-reads keep returning the damaged bytes until the page is
+        #: freed or rewritten.  Only ever populated by an injector.
+        self._sticky_corrupt: Dict[PageId, bytes] = {}
         self._file: BlockFile = fs.open("cswap")
         self._locations: Dict[PageId, FragmentLocation] = {}
         self._append_offset = 0
@@ -182,7 +202,9 @@ class FragmentStore:
                     self.counters.garbage_bytes_created += skip
 
         offset = self._append_offset
-        location = FragmentLocation(offset, len(payload), padded)
+        location = FragmentLocation(
+            offset, len(payload), padded, zlib.crc32(payload)
+        )
         self._locations[page_id] = location
         # The append offset is monotonic, so a plain append keeps the
         # index sorted; insort only runs in the (never-taken today)
@@ -221,6 +243,8 @@ class FragmentStore:
     def free(self, page_id: PageId) -> None:
         """Invalidate the stored copy of ``page_id`` (it became garbage)."""
         old = self._locations.pop(page_id, None)
+        if self._sticky_corrupt:
+            self._sticky_corrupt.pop(page_id, None)
         if old is not None:
             self._garbage_bytes += old.padded_bytes
             self.counters.garbage_bytes_created += old.padded_bytes
@@ -243,7 +267,7 @@ class FragmentStore:
         """
         location = self._locations.get(page_id)
         if location is None:
-            raise KeyError(f"no compressed copy of {page_id} on backing store")
+            raise MissingFragmentError(page_id, self.gc_generation)
 
         if location.offset >= self._batch_start:
             # Still in the unflushed batch: serve from the staging buffer.
@@ -251,6 +275,7 @@ class FragmentStore:
             payload = bytes(
                 memoryview(self._batch_buf)[lo : lo + location.nbytes]
             )
+            payload = self._verify(page_id, location, payload, 0.0)
             self.counters.pages_got += 1
             return payload, 0.0, []
 
@@ -263,6 +288,7 @@ class FragmentStore:
         )
         lo = location.offset - aligned_start
         payload = data[lo : lo + location.nbytes]
+        payload = self._verify(page_id, location, payload, seconds)
         self.counters.pages_got += 1
 
         # Other live pages wholly contained in the transferred blocks.
@@ -294,14 +320,54 @@ class FragmentStore:
         """Return a page's payload without charging I/O (prefetch use)."""
         location = self._locations.get(page_id)
         if location is None:
-            raise KeyError(f"no compressed copy of {page_id} on backing store")
+            raise MissingFragmentError(page_id, self.gc_generation)
         if location.offset >= self._batch_start:
             lo = location.offset - self._batch_start
             # memoryview slicing: one copy into the result, not two.
-            return bytes(
+            payload = bytes(
                 memoryview(self._batch_buf)[lo : lo + location.nbytes]
             )
-        return self.fs.peek(self._file, location.offset, location.nbytes)
+        else:
+            payload = self.fs.peek(
+                self._file, location.offset, location.nbytes
+            )
+        return self._verify(page_id, location, payload, 0.0)
+
+    def _verify(
+        self,
+        page_id: PageId,
+        location: FragmentLocation,
+        payload: bytes,
+        seconds: float,
+    ) -> bytes:
+        """Apply any injected corruption, then check the payload CRC.
+
+        ``seconds`` is the I/O time the read already consumed; a raised
+        :class:`FragmentChecksumError` carries it so the retry layer can
+        charge the failed attempt to virtual time.
+        """
+        injector = self.injector
+        if injector is not None:
+            sticky_prior = self._sticky_corrupt.get(page_id)
+            if sticky_prior is not None:
+                payload = sticky_prior
+            else:
+                hit = injector.corrupt_fragment(payload)
+                if hit is not None:
+                    payload, sticky = hit
+                    if sticky:
+                        self._sticky_corrupt[page_id] = payload
+        resilience = self.resilience
+        if resilience is not None:
+            resilience.crc_checks += 1
+        actual = zlib.crc32(payload)
+        if actual != location.crc32:
+            if resilience is not None:
+                resilience.crc_failures += 1
+            raise FragmentChecksumError(
+                page_id, location.crc32, actual, seconds=seconds
+            )
+        return payload
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -333,6 +399,7 @@ class FragmentStore:
             self._batch_start = 0
             self._garbage_bytes = 0
             self.counters.gc_runs += 1
+            self.gc_generation += 1
             return seconds
 
         old_extent = self._append_offset
@@ -353,7 +420,7 @@ class FragmentStore:
                     new_garbage += gap
                     offset = len(compacted)
             new_locations[page_id] = FragmentLocation(
-                offset, loc.nbytes, loc.padded_bytes
+                offset, loc.nbytes, loc.padded_bytes, loc.crc32
             )
             compacted += data[loc.offset : loc.offset + loc.nbytes]
             compacted += bytes(loc.padded_bytes - loc.nbytes)
@@ -379,5 +446,6 @@ class FragmentStore:
         self._batch_start = len(compacted)
         self._garbage_bytes = new_garbage
         self.counters.gc_runs += 1
+        self.gc_generation += 1
         self.counters.gc_bytes_moved += len(compacted)
         return seconds

@@ -40,8 +40,25 @@ class NetworkModel(BackingDevice):
         per_packet_ms: float = 0.3,
     ):
         super().__init__()
-        if bandwidth_bits_per_s <= 0 or packet_bytes <= 0:
-            raise ValueError("network parameters must be positive")
+        if bandwidth_bits_per_s <= 0:
+            raise ValueError(
+                "network bandwidth_bits_per_s must be positive, got "
+                f"{bandwidth_bits_per_s!r}"
+            )
+        if packet_bytes <= 0:
+            raise ValueError(
+                f"network packet_bytes must be positive, got {packet_bytes!r}"
+            )
+        if rpc_overhead_ms < 0:
+            raise ValueError(
+                "network rpc_overhead_ms must be non-negative, got "
+                f"{rpc_overhead_ms!r}"
+            )
+        if per_packet_ms < 0:
+            raise ValueError(
+                "network per_packet_ms must be non-negative, got "
+                f"{per_packet_ms!r}"
+            )
         self.bandwidth_bytes = bandwidth_bits_per_s / 8.0
         self.rpc_overhead_s = rpc_overhead_ms / 1000.0
         self.packet_bytes = packet_bytes

@@ -36,8 +36,14 @@ from ..ccache.allocator import ThreeWayAllocator
 from ..ccache.circular import CompressionCache
 from ..ccache.cleaner import CleanerPolicy
 from ..ccache.threshold import AdaptiveCompressionGate
-from ..compression.base import CompressionResult
+from ..compression.base import CompressionError, CompressionResult
 from ..compression.sampler import CompressionSampler
+from ..faults.errors import (
+    FragmentChecksumError,
+    IORetriesExhausted,
+    MissingFragmentError,
+    PagingFaultError,
+)
 from ..mem.frames import FramePool
 from ..mem.page import PageId, PageState
 from ..mem.pagetable import PageTableEntry
@@ -69,6 +75,13 @@ class CompressedVM(BaseVM):
             the same block read into the cache.
         max_prefetch_pages: bound per-fault prefetch admissions.
         paranoid: verify every decompression round trip (slow).
+        resilience: fault-layer counters (``None`` = no fault plan).
+        injector: :class:`~repro.faults.injectors.FaultInjector` driving
+            compressor crash/expansion faults in the eviction path.
+        retry: :class:`~repro.faults.retry.ResilientIO` wrapping the
+            pager I/O; ``None`` keeps the stock fail-fast path.
+        degradation: :class:`~repro.faults.degrade.DegradationController`
+            bypassing compression while the substrate misbehaves.
     """
 
     def __init__(
@@ -88,6 +101,10 @@ class CompressedVM(BaseVM):
         prefetch_colocated: bool = True,
         max_prefetch_pages: int = 16,
         paranoid: bool = False,
+        resilience=None,
+        injector=None,
+        retry=None,
+        degradation=None,
     ):
         super().__init__(
             address_space, frames, allocator, ledger, costs,
@@ -104,6 +121,10 @@ class CompressedVM(BaseVM):
         self.prefetch_colocated = prefetch_colocated
         self.max_prefetch_pages = max_prefetch_pages
         self.paranoid = paranoid
+        self.resilience = resilience
+        self.injector = injector
+        self.retry = retry
+        self.degradation = degradation
         self._cleaner_check_pending = False
         ccache.written_callback = self._note_written_to_store
 
@@ -129,33 +150,37 @@ class CompressedVM(BaseVM):
             self._charge_decompress(pte, payload)
             source = FaultSource.CCACHE
         elif self._valid_on_fragstore(pte):
-            payload, seconds, colocated = self.fragstore.get(page_id)
-            self.ledger.charge(TimeCategory.IO_READ, seconds)
-            # Per Section 4.1 the page "is first brought into memory and
-            # stored in the compression cache, then it is decompressed".
-            self.ledger.charge(
-                TimeCategory.COPY, self.costs.copy_seconds(len(payload))
-            )
-            self.ccache.insert(
-                page_id,
-                payload,
-                dirty=False,
-                now=self.ledger.now,
-                on_backing_store=True,
-                content_version=pte.content.version,
-            )
-            frame = self._obtain_frame()
-            self._charge_decompress(pte, payload)
-            if self.prefetch_colocated:
-                self._prefetch(colocated)
-            source = FaultSource.FRAGSTORE
+            fetched = self._fetch_fragment(pte)
+            if fetched is None:
+                # Unrecoverable fragment (sticky corruption or permanent
+                # device failure); the bad copy was freed.  Fall back to
+                # the raw swap copy if one exists, else re-fetch from the
+                # authoritative copy.
+                frame, source = self._fill_fallback(pte)
+            else:
+                payload, seconds, colocated = fetched
+                self.ledger.charge(TimeCategory.IO_READ, seconds)
+                # Per Section 4.1 the page "is first brought into memory
+                # and stored in the compression cache, then it is
+                # decompressed".
+                self.ledger.charge(
+                    TimeCategory.COPY, self.costs.copy_seconds(len(payload))
+                )
+                self.ccache.insert(
+                    page_id,
+                    payload,
+                    dirty=False,
+                    now=self.ledger.now,
+                    on_backing_store=True,
+                    content_version=pte.content.version,
+                )
+                frame = self._obtain_frame()
+                self._charge_decompress(pte, payload)
+                if self.prefetch_colocated:
+                    self._prefetch(colocated)
+                source = FaultSource.FRAGSTORE
         elif self._valid_on_swap(pte):
-            data, seconds = self.swap.read_page(page_id)
-            self.ledger.charge(TimeCategory.IO_READ, seconds)
-            if self.paranoid and data != pte.content.materialize():
-                raise AssertionError(f"stale swap data for {page_id}")
-            frame = self._obtain_frame()
-            source = FaultSource.SWAP
+            frame, source = self._fill_from_swap(pte)
         else:
             frame = self._obtain_frame()
             self.ledger.charge(
@@ -165,6 +190,71 @@ class CompressedVM(BaseVM):
         pte.mark_resident(frame)
         pte.dirty = False
         return source
+
+    def _fetch_fragment(self, pte: PageTableEntry):
+        """Read the page's fragment, retrying under a fault plan.
+
+        Returns the ``(payload, seconds, colocated)`` tuple from
+        :meth:`FragmentStore.get`, or ``None`` when the fragment is
+        unrecoverable (retries exhausted on checksum or device errors);
+        in that case the bad copy has been freed so later faults don't
+        trip over it again.
+        """
+        page_id = pte.page_id
+        if self.retry is None:
+            return self.fragstore.get(page_id)
+        try:
+            return self.retry.call(
+                lambda: self.fragstore.get(page_id), TimeCategory.IO_READ
+            )
+        except IORetriesExhausted as exc:
+            if (
+                self.degradation is not None
+                and isinstance(exc.last_error, FragmentChecksumError)
+            ):
+                self.degradation.record(False)
+            self.fragstore.free(page_id)
+            return None
+
+    def _fill_from_swap(self, pte: PageTableEntry):
+        """Read the raw swap copy, falling back to the backstop on failure."""
+        page_id = pte.page_id
+        if self.retry is None:
+            data, seconds = self.swap.read_page(page_id)
+        else:
+            fetched = self.retry.try_call(
+                lambda: self.swap.read_page(page_id), TimeCategory.IO_READ
+            )
+            if fetched is None:
+                return self._backstop_refetch(pte), FaultSource.SWAP
+            data, seconds = fetched
+        self.ledger.charge(TimeCategory.IO_READ, seconds)
+        if self.paranoid and data != pte.content.materialize():
+            raise AssertionError(f"stale swap data for {page_id}")
+        return self._obtain_frame(), FaultSource.SWAP
+
+    def _fill_fallback(self, pte: PageTableEntry):
+        """Recover a page whose compressed fragment was unrecoverable."""
+        if self._valid_on_swap(pte):
+            return self._fill_from_swap(pte)
+        return self._backstop_refetch(pte), FaultSource.SWAP
+
+    def _backstop_refetch(self, pte: PageTableEntry):
+        """Last-resort re-fetch from the paging server's authoritative copy.
+
+        Charged as a reliable full-page read on the unwrapped device
+        (faults are not injected into the backstop: the authoritative
+        copy is assumed intact, matching the paper's remote-memory
+        server holding the ground truth).
+        """
+        device = self.swap.fs.device
+        device = getattr(device, "inner", device)
+        self.ledger.charge(
+            TimeCategory.IO_READ, device.read(self.address_space.page_size)
+        )
+        if self.resilience is not None:
+            self.resilience.backstop_refetches += 1
+        return self._obtain_frame()
 
     def _charge_decompress(self, pte: PageTableEntry, payload: bytes) -> None:
         """Charge decompression of a full page; verify when paranoid."""
@@ -195,7 +285,12 @@ class CompressedVM(BaseVM):
                 continue
             if pte.saved_version != pte.content.version:
                 continue
-            payload = self.fragstore.peek(page_id)
+            try:
+                payload = self.fragstore.peek(page_id)
+            except (FragmentChecksumError, MissingFragmentError):
+                # Prefetch is opportunistic: skip corrupt or vanished
+                # fragments and let a real fault drive recovery.
+                continue
             self.ledger.charge(
                 TimeCategory.COPY, self.costs.copy_seconds(len(payload))
             )
@@ -243,12 +338,91 @@ class CompressedVM(BaseVM):
             self.metrics.evictions.clean_drops += 1
             return
 
-        if self.gate.open:
+        bypass_degraded = (
+            self.degradation is not None and self.degradation.degraded
+        )
+        if self.gate.open and not bypass_degraded:
             content = pte.content
             data = content.materialize()
             self.ledger.charge(
                 TimeCategory.COMPRESS, self.costs.compress_seconds(page_size)
             )
+            result = self._compress_for_eviction(content, data)
+            if result is not None:
+                kept = self.metrics.compression.record(
+                    page_size, result.compressed_size
+                )
+                self.gate.record(kept)
+                if kept:
+                    # Free the victim's frame *before* inserting so the
+                    # cache can grow into it without recursing through the
+                    # allocator.
+                    self._release_resident_frame(pte, PageState.COMPRESSED)
+                    self.ccache.insert(
+                        page_id,
+                        result.payload,
+                        dirty=True,
+                        now=self.ledger.now,
+                        content_version=pte.content.version,
+                    )
+                    self.metrics.evictions.compressed_kept += 1
+                    return
+                self.metrics.evictions.uncompressible += 1
+            else:
+                # Compressor crashed: the compression time was wasted and
+                # the page takes the raw path below.
+                self.metrics.evictions.uncompressible += 1
+        else:
+            if bypass_degraded:
+                self.degradation.note_bypassed_eviction()
+            self.gate.note_bypass()
+            self.metrics.evictions.bypassed_gate += 1
+
+        # Raw path: full-page write to the ordinary swap.
+        data = pte.content.materialize()
+        if self.retry is None:
+            seconds = self.swap.write_page(page_id, data)
+        else:
+            seconds = self.retry.try_call(
+                lambda: self.swap.write_page(page_id, data),
+                TimeCategory.IO_WRITE,
+            )
+        if seconds is None:
+            # Write-back failed for good: the page leaves memory without a
+            # saved copy, so the next fault's zero-fill/backstop path will
+            # reconstruct it from the authoritative content.
+            self.resilience.deferred_writebacks += 1
+        else:
+            self.ledger.charge(TimeCategory.IO_WRITE, seconds)
+            pte.note_saved()
+            pte.swap_handle = _STORE_RAW
+            self.fragstore.free(page_id)  # any compressed store copy is stale
+        self.metrics.evictions.raw_writes += 1
+        self._release_resident_frame(pte, PageState.BACKING_STORE)
+
+    def _compress_for_eviction(
+        self, content, data: bytes
+    ) -> Optional[CompressionResult]:
+        """Compress an eviction victim, applying injected compressor faults.
+
+        Faults are injected here — above the sampler — so a crash or
+        pathological expansion never poisons the sampler's memo or the
+        shared kernel-result cache with bogus entries.  Returns ``None``
+        on a crash (caller routes the page to raw swap).
+        """
+        if self.injector is not None:
+            fault = self.injector.compressor_fault()
+            if fault == "crash":
+                if self.degradation is not None:
+                    self.degradation.record(False)
+                return None
+            if fault == "expand":
+                if self.degradation is not None:
+                    self.degradation.record(False)
+                # Pathological expansion: an output bigger than the input
+                # fails the 4:3 threshold naturally in the caller.
+                return CompressionResult(bytes(data) + b"\0" * 64, len(data))
+        try:
             result = self.sampler.compress(
                 data,
                 stable_key=content.stable_key,
@@ -259,37 +433,13 @@ class CompressedVM(BaseVM):
                     else content.fingerprint()
                 ),
             )
-            kept = self.metrics.compression.record(
-                page_size, result.compressed_size
-            )
-            self.gate.record(kept)
-            if kept:
-                # Free the victim's frame *before* inserting so the cache
-                # can grow into it without recursing through the allocator.
-                self._release_resident_frame(pte, PageState.COMPRESSED)
-                self.ccache.insert(
-                    page_id,
-                    result.payload,
-                    dirty=True,
-                    now=self.ledger.now,
-                    content_version=pte.content.version,
-                )
-                self.metrics.evictions.compressed_kept += 1
-                return
-            self.metrics.evictions.uncompressible += 1
-        else:
-            self.gate.note_bypass()
-            self.metrics.evictions.bypassed_gate += 1
-
-        # Raw path: full-page write to the ordinary swap.
-        data = pte.content.materialize()
-        seconds = self.swap.write_page(page_id, data)
-        self.ledger.charge(TimeCategory.IO_WRITE, seconds)
-        pte.note_saved()
-        pte.swap_handle = _STORE_RAW
-        self.fragstore.free(page_id)  # any compressed store copy is stale
-        self.metrics.evictions.raw_writes += 1
-        self._release_resident_frame(pte, PageState.BACKING_STORE)
+        except CompressionError:
+            if self.degradation is not None:
+                self.degradation.record(False)
+            return None
+        if self.degradation is not None:
+            self.degradation.record(True)
+        return result
 
     def _release_resident_frame(
         self, pte: PageTableEntry, new_state: PageState
@@ -346,7 +496,27 @@ class CompressedVM(BaseVM):
     def drain(self) -> None:
         """Evict all resident pages and flush pending compressed writes."""
         super().drain()
-        self.ccache.clean_pages(self.ccache.dirty_pages())
-        seconds = self.fragstore.flush()
+        # Under fault injection a clean pass can stall on a write error
+        # and re-queue the page; keep going while progress is possible.
+        # Without a plan this loop runs exactly once.
+        attempts = 0
+        while self.ccache.dirty_pages() and attempts < 1000:
+            self.ccache.clean_pages(self.ccache.dirty_pages())
+            attempts += 1
+        seconds = self._final_flush()
         if seconds:
             self.ledger.charge(TimeCategory.IO_WRITE, seconds)
+
+    def _final_flush(self) -> float:
+        """Flush staged fragments, retrying under a fault plan."""
+        try:
+            return self.fragstore.flush()
+        except PagingFaultError as exc:
+            self.ledger.charge(TimeCategory.IO_WRITE, exc.seconds)
+            if self.retry is not None:
+                seconds = self.retry.try_call(
+                    self.fragstore.flush, TimeCategory.IO_WRITE
+                )
+                if seconds is not None:
+                    return seconds
+            return 0.0

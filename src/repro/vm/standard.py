@@ -38,6 +38,8 @@ class StandardVM(BaseVM):
         swap: StandardSwap,
         min_resident_frames: int = 2,
         paranoid: bool = False,
+        resilience=None,
+        retry=None,
     ):
         super().__init__(
             address_space, frames, allocator, ledger, costs,
@@ -45,6 +47,8 @@ class StandardVM(BaseVM):
         )
         self.swap = swap
         self.paranoid = paranoid
+        self.resilience = resilience
+        self.retry = retry
 
     def _fill(self, pte: PageTableEntry) -> FaultSource:
         frame = self._obtain_frame()
@@ -52,13 +56,7 @@ class StandardVM(BaseVM):
             self.swap.contains(pte.page_id)
             and pte.saved_version == pte.content.version
         ):
-            data, seconds = self.swap.read_page(pte.page_id)
-            self.ledger.charge(TimeCategory.IO_READ, seconds)
-            if self.paranoid and data != pte.content.materialize():
-                raise AssertionError(
-                    f"swap returned stale data for {pte.page_id}"
-                )
-            source = FaultSource.SWAP
+            source = self._fill_from_swap(pte)
         else:
             # First touch: zero-fill (or demand-create workload contents).
             self.ledger.charge(
@@ -70,6 +68,35 @@ class StandardVM(BaseVM):
         pte.dirty = False
         return source
 
+    def _fill_from_swap(self, pte: PageTableEntry) -> FaultSource:
+        """Read the swap copy, retrying and backstopping under faults."""
+        if self.retry is None:
+            data, seconds = self.swap.read_page(pte.page_id)
+        else:
+            fetched = self.retry.try_call(
+                lambda: self.swap.read_page(pte.page_id),
+                TimeCategory.IO_READ,
+            )
+            if fetched is None:
+                # Retries exhausted: re-fetch from the paging server's
+                # authoritative copy, charged as a reliable full-page
+                # read on the unwrapped device.
+                device = self.swap.fs.device
+                device = getattr(device, "inner", device)
+                self.ledger.charge(
+                    TimeCategory.IO_READ,
+                    device.read(self.address_space.page_size),
+                )
+                self.resilience.backstop_refetches += 1
+                return FaultSource.SWAP
+            data, seconds = fetched
+        self.ledger.charge(TimeCategory.IO_READ, seconds)
+        if self.paranoid and data != pte.content.materialize():
+            raise AssertionError(
+                f"swap returned stale data for {pte.page_id}"
+            )
+        return FaultSource.SWAP
+
     def _evict(self, pte: PageTableEntry) -> None:
         self.metrics.evictions.total += 1
         has_valid_copy = (
@@ -80,9 +107,20 @@ class StandardVM(BaseVM):
             self.metrics.evictions.clean_drops += 1
         else:
             data = pte.content.materialize()
-            seconds = self.swap.write_page(pte.page_id, data)
-            self.ledger.charge(TimeCategory.IO_WRITE, seconds)
-            pte.note_saved()
+            if self.retry is None:
+                seconds = self.swap.write_page(pte.page_id, data)
+            else:
+                seconds = self.retry.try_call(
+                    lambda: self.swap.write_page(pte.page_id, data),
+                    TimeCategory.IO_WRITE,
+                )
+            if seconds is None:
+                # Write-back failed for good: drop the page unsaved; the
+                # next fault reconstructs it from authoritative content.
+                self.resilience.deferred_writebacks += 1
+            else:
+                self.ledger.charge(TimeCategory.IO_WRITE, seconds)
+                pte.note_saved()
             self.metrics.evictions.raw_writes += 1
         if pte.frame is None:
             raise AssertionError(f"evicting non-resident page {pte.page_id}")

@@ -1,0 +1,80 @@
+"""DegradationController: the NORMAL ⇄ DEGRADED state machine."""
+
+from repro.faults.degrade import DegradationController, ResilienceCounters
+from repro.faults.plan import DegradationConfig
+
+
+def make_controller(window=8, threshold=0.5, min_events=4, cooldown=3):
+    counters = ResilienceCounters()
+    controller = DegradationController(
+        DegradationConfig(window=window, fault_threshold=threshold,
+                          min_events=min_events,
+                          cooldown_evictions=cooldown),
+        counters,
+    )
+    return controller, counters
+
+
+class TestDegradation:
+    def test_starts_normal(self):
+        controller, _ = make_controller()
+        assert not controller.degraded
+        assert controller.compression_allowed
+
+    def test_needs_min_events(self):
+        controller, _ = make_controller(min_events=4)
+        for _ in range(3):
+            controller.record(False)
+        assert not controller.degraded  # 3 bad events, but < min_events
+
+    def test_enters_degraded_at_threshold(self):
+        controller, counters = make_controller(min_events=4)
+        for _ in range(4):
+            controller.record(False)
+        assert controller.degraded
+        assert counters.degradation_entries == 1
+
+    def test_healthy_stream_never_degrades(self):
+        controller, counters = make_controller()
+        for _ in range(100):
+            controller.record(True)
+        assert not controller.degraded
+        assert counters.degradation_entries == 0
+
+    def test_cooldown_re_enables(self):
+        controller, counters = make_controller(cooldown=3)
+        for _ in range(4):
+            controller.record(False)
+        assert controller.degraded
+        for n in range(3):
+            assert controller.degraded
+            controller.note_bypassed_eviction()
+        assert not controller.degraded
+        assert counters.bypassed_evictions == 3
+        assert counters.degradation_exits == 1
+
+    def test_window_cleared_on_re_enable(self):
+        controller, counters = make_controller(min_events=4, cooldown=1)
+        for _ in range(4):
+            controller.record(False)
+        controller.note_bypassed_eviction()  # back to NORMAL
+        # Old failures are forgotten: it takes min_events fresh ones.
+        controller.record(False)
+        assert not controller.degraded
+        for _ in range(3):
+            controller.record(False)
+        assert controller.degraded
+        assert counters.degradation_entries == 2
+
+    def test_events_ignored_while_degraded(self):
+        controller, _ = make_controller(cooldown=5)
+        for _ in range(4):
+            controller.record(False)
+        for _ in range(10):
+            controller.record(True)  # ignored: window restarts on exit
+        assert controller.degraded
+
+    def test_note_bypassed_noop_when_normal(self):
+        controller, counters = make_controller()
+        controller.note_bypassed_eviction()
+        assert counters.bypassed_evictions == 0

@@ -1,0 +1,91 @@
+"""FaultyDevice: deterministic injection over a real device model."""
+
+import pytest
+
+from repro.faults.degrade import ResilienceCounters
+from repro.faults.device import FaultyDevice
+from repro.faults.errors import PermanentIOError, TransientIOError
+from repro.faults.plan import FaultPlan
+from repro.storage.disk import DiskModel
+
+
+def make_device(plan_doc, seed=3):
+    plan = FaultPlan.from_dict(dict(plan_doc, seed=seed))
+    counters = ResilienceCounters()
+    inner = DiskModel.rz57()
+    return FaultyDevice(inner, plan.build(counters)), inner, counters
+
+
+class TestFaultyDevice:
+    def test_no_faults_is_passthrough(self):
+        device, inner, counters = make_device({})
+        seconds = device.read(4096)
+        assert seconds == pytest.approx(
+            DiskModel.rz57()._transfer_seconds(4096, False)
+        )
+        assert inner.counters.reads == 1
+        assert counters.injected_faults == 0
+
+    def test_read_errors_injected_and_counted(self):
+        device, inner, counters = make_device(
+            {"device": {"read_error_rate": 1.0}}
+        )
+        with pytest.raises(TransientIOError) as excinfo:
+            device.read(4096)
+        # The failed attempt consumed virtual time but never touched the
+        # inner device's (successful-transfer) counters.
+        assert 0.0 <= excinfo.value.seconds <= inner._transfer_seconds(
+            4096, False
+        )
+        assert inner.counters.reads == 0
+        assert counters.device_read_errors == 1
+
+    def test_permanent_fraction(self):
+        device, _, _ = make_device(
+            {"device": {"write_error_rate": 1.0, "permanent_fraction": 1.0}}
+        )
+        with pytest.raises(PermanentIOError):
+            device.write(4096)
+
+    def test_latency_spike_added_to_successful_transfer(self):
+        device, inner, counters = make_device(
+            {"device": {"latency_spike_rate": 1.0,
+                        "latency_spike_ms": 25.0}}
+        )
+        plain = DiskModel.rz57()._transfer_seconds(4096, False)
+        assert device.read(4096) == pytest.approx(plain + 0.025)
+        assert inner.counters.reads == 1  # the transfer itself succeeded
+        assert counters.latency_spikes == 1
+        assert counters.latency_spike_seconds == pytest.approx(0.025)
+
+    def test_max_faults_cap(self):
+        device, _, counters = make_device(
+            {"device": {"read_error_rate": 1.0, "max_faults": 2}}
+        )
+        for _ in range(2):
+            with pytest.raises(TransientIOError):
+                device.read(4096)
+        device.read(4096)  # cap reached: transfers succeed again
+        assert counters.device_read_errors == 2
+
+    def test_same_seed_same_schedule(self):
+        doc = {"device": {"read_error_rate": 0.4,
+                          "latency_spike_rate": 0.2,
+                          "latency_spike_ms": 10.0}}
+
+        def schedule():
+            device, _, _ = make_device(doc, seed=11)
+            fates = []
+            for _ in range(50):
+                try:
+                    device.read(4096)
+                    fates.append("ok")
+                except TransientIOError:
+                    fates.append("err")
+            return fates
+
+        assert schedule() == schedule()
+
+    def test_counters_property_delegates(self):
+        device, inner, _ = make_device({})
+        assert device.counters is inner.counters

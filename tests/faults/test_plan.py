@@ -1,0 +1,126 @@
+"""FaultPlan: parsing, validation, round-trips."""
+
+import json
+
+import pytest
+
+from repro.faults.plan import (
+    CompressorFaultConfig,
+    DeviceFaultConfig,
+    FaultPlan,
+    FaultPlanError,
+    FragmentFaultConfig,
+    RetryConfig,
+)
+
+
+class TestValidation:
+    def test_defaults_are_inert(self):
+        plan = FaultPlan()
+        assert not plan.device.enabled
+        assert not plan.fragments.enabled
+        assert not plan.compressor.enabled
+
+    def test_rate_out_of_range(self):
+        with pytest.raises(FaultPlanError, match="read_error_rate"):
+            DeviceFaultConfig(read_error_rate=1.5)
+        with pytest.raises(FaultPlanError, match="corrupt_read_rate"):
+            FragmentFaultConfig(corrupt_read_rate=-0.1)
+
+    def test_rate_wrong_type(self):
+        with pytest.raises(FaultPlanError, match="crash_rate"):
+            CompressorFaultConfig(crash_rate="often")
+
+    def test_crash_plus_expand_bounded(self):
+        with pytest.raises(FaultPlanError, match="must not exceed 1"):
+            CompressorFaultConfig(crash_rate=0.7, expand_rate=0.7)
+
+    def test_retry_attempts_positive(self):
+        with pytest.raises(FaultPlanError, match="max_attempts"):
+            RetryConfig(max_attempts=0)
+
+    def test_seed_must_be_int(self):
+        with pytest.raises(FaultPlanError, match="seed"):
+            FaultPlan(seed="zeppelin")
+
+    def test_max_faults_validation(self):
+        with pytest.raises(FaultPlanError, match="max_faults"):
+            DeviceFaultConfig(max_faults=-1)
+        assert DeviceFaultConfig(max_faults=None).max_faults is None
+
+
+class TestFromDict:
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault-plan keys"):
+            FaultPlan.from_dict({"devcie": {}})
+
+    def test_unknown_section_key_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown keys in section"):
+            FaultPlan.from_dict({"device": {"read_eror_rate": 0.1}})
+
+    def test_comment_keys_allowed(self):
+        plan = FaultPlan.from_dict({
+            "comment": "top",
+            "device": {"comment": "nested", "read_error_rate": 0.5},
+        })
+        assert plan.device.read_error_rate == 0.5
+
+    def test_section_must_be_object(self):
+        with pytest.raises(FaultPlanError, match="must be an object"):
+            FaultPlan.from_dict({"device": 3})
+
+    def test_round_trip(self):
+        plan = FaultPlan.from_dict({
+            "seed": 42,
+            "device": {"read_error_rate": 0.1, "latency_spike_rate": 0.2,
+                       "latency_spike_ms": 5.0},
+            "fragments": {"corrupt_read_rate": 0.05,
+                          "sticky_fraction": 0.5},
+            "compressor": {"crash_rate": 0.01},
+            "retry": {"max_attempts": 3},
+            "degradation": {"window": 8},
+        })
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_empty_dict_is_inert_plan(self):
+        plan = FaultPlan.from_dict({})
+        assert plan == FaultPlan()
+
+
+class TestFromJson:
+    def test_load(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"seed": 9,
+                                    "device": {"write_error_rate": 0.3}}))
+        plan = FaultPlan.from_json(path)
+        assert plan.seed == 9
+        assert plan.device.write_error_rate == 0.3
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{nope")
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json(path)
+
+    def test_shipped_plans_parse(self):
+        from pathlib import Path
+
+        plans = Path(__file__).parents[2] / "experiments" / "fault_plans"
+        names = sorted(p.name for p in plans.glob("*.json"))
+        assert names == ["compressor-crash.json", "corrupt-fragments.json",
+                         "disk-flaky.json"]
+        for path in plans.glob("*.json"):
+            FaultPlan.from_json(path)
+
+
+class TestRetryPolicy:
+    def test_ms_to_seconds(self):
+        plan = FaultPlan.from_dict({
+            "retry": {"max_attempts": 3, "base_backoff_ms": 2.0,
+                      "multiplier": 2.0, "max_backoff_ms": 6.0},
+        })
+        policy = plan.retry_policy()
+        assert policy.max_attempts == 3
+        assert policy.backoff_seconds(0) == pytest.approx(0.002)
+        assert policy.backoff_seconds(1) == pytest.approx(0.004)
+        assert policy.backoff_seconds(5) == pytest.approx(0.006)  # capped

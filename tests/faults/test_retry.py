@@ -1,0 +1,110 @@
+"""ResilientIO: bounded retry, backoff charging, fail-fast."""
+
+import pytest
+
+from repro.faults.degrade import ResilienceCounters
+from repro.faults.errors import (
+    IORetriesExhausted,
+    PermanentIOError,
+    TransientIOError,
+)
+from repro.faults.retry import ResilientIO, RetryPolicy
+from repro.sim.ledger import Ledger, TimeCategory
+
+
+def make_io(max_attempts=3, base=0.001, mult=2.0, cap=0.004):
+    ledger = Ledger()
+    counters = ResilienceCounters()
+    io = ResilientIO(
+        RetryPolicy(max_attempts=max_attempts, base_backoff_s=base,
+                    multiplier=mult, max_backoff_s=cap),
+        ledger, counters,
+    )
+    return io, ledger, counters
+
+
+class FlakyOp:
+    """Fails ``failures`` times, then succeeds."""
+
+    def __init__(self, failures, error=None):
+        self.failures = failures
+        self.calls = 0
+        self.error = error or TransientIOError("read", 4096, seconds=0.01)
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return "ok"
+
+
+class TestRetry:
+    def test_success_first_try(self):
+        io, ledger, counters = make_io()
+        assert io.call(lambda: 7, TimeCategory.IO_READ) == 7
+        assert counters.retries == 0
+        assert ledger.total() == 0.0
+
+    def test_recovers_after_transient_failures(self):
+        io, ledger, counters = make_io()
+        op = FlakyOp(failures=2)
+        assert io.call(op, TimeCategory.IO_READ) == "ok"
+        assert op.calls == 3
+        assert counters.retries == 2
+        assert counters.recovered_operations == 1
+        assert counters.retries_exhausted == 0
+        # Two failed attempts charged to the caller's category...
+        assert ledger.total(TimeCategory.IO_READ) == pytest.approx(0.02)
+        # ...and exponential backoff (0.001 + 0.002) to RETRY_BACKOFF.
+        assert ledger.total(TimeCategory.RETRY_BACKOFF) == pytest.approx(
+            0.003
+        )
+        assert counters.retry_backoff_seconds == pytest.approx(0.003)
+
+    def test_exhaustion_raises_with_last_error(self):
+        io, _, counters = make_io(max_attempts=3)
+        op = FlakyOp(failures=99)
+        with pytest.raises(IORetriesExhausted) as excinfo:
+            io.call(op, TimeCategory.IO_READ)
+        assert op.calls == 3
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, TransientIOError)
+        assert counters.retries_exhausted == 1
+        assert counters.recovered_operations == 0
+
+    def test_permanent_error_fails_fast(self):
+        io, ledger, counters = make_io(max_attempts=5)
+        op = FlakyOp(
+            failures=99,
+            error=PermanentIOError("write", 4096, seconds=0.02),
+        )
+        with pytest.raises(IORetriesExhausted):
+            io.call(op, TimeCategory.IO_WRITE)
+        assert op.calls == 1  # no point retrying
+        assert counters.retries == 0
+        assert ledger.total(TimeCategory.IO_WRITE) == pytest.approx(0.02)
+        assert ledger.total(TimeCategory.RETRY_BACKOFF) == 0.0
+
+    def test_backoff_capped(self):
+        io, ledger, _ = make_io(max_attempts=5, base=0.001, mult=10.0,
+                                cap=0.002)
+        op = FlakyOp(failures=3)
+        io.call(op, TimeCategory.IO_READ)
+        # Backoffs: 0.001, then capped at 0.002 twice.
+        assert ledger.total(TimeCategory.RETRY_BACKOFF) == pytest.approx(
+            0.005
+        )
+
+    def test_try_call_returns_none_on_exhaustion(self):
+        io, _, _ = make_io(max_attempts=2)
+        assert io.try_call(FlakyOp(failures=99), TimeCategory.IO_READ) is None
+        assert io.try_call(lambda: 5, TimeCategory.IO_READ) == 5
+
+    def test_non_retryable_exception_propagates(self):
+        io, _, _ = make_io()
+
+        def boom():
+            raise RuntimeError("not an I/O fault")
+
+        with pytest.raises(RuntimeError):
+            io.call(boom, TimeCategory.IO_READ)

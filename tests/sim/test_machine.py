@@ -115,3 +115,46 @@ class TestMeasurementReset:
         assert machine.ledger.total() == 0.0
         assert machine.vm.resident_pages == resident_before
         assert machine.ledger.now > 0.0  # clock keeps running
+
+
+class TestConfigValidation:
+    """Non-positive sizes and rates are rejected up front."""
+
+    def test_rejects_nonpositive_sizes(self):
+        import pytest
+
+        from repro.sim.machine import MachineConfig
+
+        for field_name in ("memory_bytes", "page_size", "fragment_size",
+                           "batch_bytes"):
+            with pytest.raises(ValueError, match=field_name):
+                MachineConfig(**{field_name: 0})
+            with pytest.raises(ValueError, match=field_name):
+                MachineConfig(**{field_name: -4096})
+
+    def test_rejects_nonpositive_threshold(self):
+        import pytest
+
+        from repro.sim.machine import MachineConfig
+
+        with pytest.raises(ValueError, match="threshold_factor"):
+            MachineConfig(threshold_factor=0.0)
+
+    def test_device_models_validate(self):
+        import pytest
+
+        from repro.storage.disk import DiskModel
+        from repro.storage.network import NetworkModel
+
+        with pytest.raises(ValueError, match="bandwidth"):
+            DiskModel(bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError, match="rpm"):
+            DiskModel(rpm=-1)
+        with pytest.raises(ValueError, match="fixed_overhead_ms"):
+            DiskModel(fixed_overhead_ms=-0.5)
+        with pytest.raises(ValueError, match="bandwidth"):
+            NetworkModel(bandwidth_bits_per_s=-1)
+        with pytest.raises(ValueError, match="rpc_overhead_ms"):
+            NetworkModel(rpc_overhead_ms=-2.0)
+        with pytest.raises(ValueError, match="per_packet_ms"):
+            NetworkModel(per_packet_ms=-0.1)

@@ -225,3 +225,41 @@ class TestGarbageCollection:
             FragmentStore(fs, gc_threshold=0.0)
         with pytest.raises(ValueError):
             FragmentStore(fs, batch_bytes=100)
+
+
+class TestMissingFragmentError:
+    """Unknown/reclaimed pages raise a typed, annotated KeyError subclass."""
+
+    def test_get_raises_missing_fragment_error(self):
+        from repro.faults.errors import MissingFragmentError
+
+        store = make_store()
+        with pytest.raises(MissingFragmentError) as excinfo:
+            store.get(PageId(0, 99))
+        assert excinfo.value.page_id == PageId(0, 99)
+        assert excinfo.value.gc_generation == 0
+        assert "generation" in str(excinfo.value)
+
+    def test_peek_raises_missing_fragment_error(self):
+        from repro.faults.errors import MissingFragmentError
+
+        store = make_store()
+        with pytest.raises(MissingFragmentError):
+            store.peek(PageId(0, 99))
+
+    def test_carries_gc_generation(self):
+        from repro.faults.errors import MissingFragmentError
+
+        store = make_store(gc_min_bytes=0)
+        store.put(PageId(0, 0), b"a" * 1024)
+        store.free(PageId(0, 0))
+        store.maybe_collect(force=True)
+        with pytest.raises(MissingFragmentError) as excinfo:
+            store.get(PageId(0, 0))
+        assert excinfo.value.gc_generation == 1
+
+    def test_is_a_key_error(self):
+        """Legacy ``except KeyError`` callers keep working."""
+        from repro.faults.errors import MissingFragmentError
+
+        assert issubclass(MissingFragmentError, KeyError)

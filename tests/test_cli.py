@@ -173,3 +173,59 @@ class TestSweepCommand:
         assert main(["figure3", "--scale", "0.04", "--mode", "rw",
                      "--jobs", "2"]) == 0
         assert "Figure 3 (rw)" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_plain_run(self, capsys):
+        assert main(["run", "--workload", "thrasher", "--scale",
+                     "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "elapsed" in out
+        assert "injected_faults" not in out  # no plan, no fault report
+
+    def test_unknown_workload(self, capsys):
+        assert main(["run", "--workload", "nonesuch"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_missing_plan_file(self, capsys):
+        assert main(["run", "--workload", "thrasher",
+                     "--faults", "/no/such/plan.json"]) == 2
+        assert "cannot load fault plan" in capsys.readouterr().err
+
+    def test_invalid_plan_file(self, capsys, tmp_path):
+        bad = tmp_path / "plan.json"
+        bad.write_text('{"devcie": {}}')
+        assert main(["run", "--workload", "thrasher",
+                     "--faults", str(bad)]) == 2
+        assert "cannot load fault plan" in capsys.readouterr().err
+
+    def test_fault_plan_reports_counters(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"seed": 3, "device": {"read_error_rate": 0.05,'
+                        ' "write_error_rate": 0.05}}')
+        assert main(["run", "--workload", "compare", "--scale", "0.03",
+                     "--drain", "--faults", str(plan)]) == 0
+        out = capsys.readouterr().out
+        assert "injected_faults" in out
+
+    def test_digest_deterministic_under_faults(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"seed": 8, "fragments":'
+                        ' {"corrupt_read_rate": 0.05}}')
+        argv = ["run", "--workload", "compare", "--scale", "0.03",
+                "--drain", "--digest", "--faults", str(plan)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out.strip()
+        assert main(argv) == 0
+        second = capsys.readouterr().out.strip()
+        assert first == second
+        assert len(first) == 64
+
+    def test_json_output(self, capsys):
+        import json as json_mod
+
+        assert main(["run", "--workload", "thrasher", "--scale", "0.03",
+                     "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert "elapsed_seconds" in payload
+        assert "resilience" not in payload  # no plan installed

@@ -155,3 +155,42 @@ class TestConfiguration:
             MachineConfig(memory_bytes=mbytes(0.5)), workload.build()
         )
         assert machine.pager is None
+
+
+class TestPagerFaultContext:
+    def test_missing_fragment_surfaces_with_gc_context(self):
+        """A vanished fragment becomes a PagerError naming the page and
+        the store's GC generation (satellite of the typed-error work)."""
+        _, machine = make_machine(True)
+        pager = machine.pager
+        page = PageId(0, 7)
+        # Claim the store holds the page while it actually does not, the
+        # shape of a fragment reclaimed between holds() and pagein().
+        pager.fragstore.contains = lambda _pid: True
+        with pytest.raises(PagerError, match=r"fragment missing"):
+            pager.pagein(page)
+
+    def test_chaos_run_external_pager(self):
+        """The external-pager architecture survives a fault plan too."""
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.from_dict({
+            "seed": 5,
+            "device": {"read_error_rate": 0.02, "write_error_rate": 0.02,
+                       "latency_spike_rate": 0.02,
+                       "latency_spike_ms": 10.0},
+            "fragments": {"corrupt_read_rate": 0.03},
+        })
+        workload = Thrasher(mbytes(1.2), cycles=3, write=True)
+        machine = Machine(
+            MachineConfig(
+                memory_bytes=mbytes(0.5),
+                vm_architecture="external-pager",
+                fault_plan=plan,
+                paranoid=True,
+            ),
+            workload.build(),
+        )
+        result = SimulationEngine(machine).run(workload.references())
+        assert result.fault_counters is not None
+        assert result.fault_counters["injected_faults"] > 0
