@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""One-tier versus two-tier compressed-memory hierarchy comparison.
+
+The paper's compression cache is a single compressed level between
+uncompressed memory and the backing store.  The tier chain generalizes
+it; this sweep quantifies what a second level buys: a small, fast LZRW1
+L1 backed by an uncapped, higher-ratio LZSS L2 versus the classic single
+uncapped LZRW1 cache, on a thrashing and a compressible-working-set
+workload.  Reported per cell: elapsed simulated seconds, total faults,
+compressed-tier hit rate, effective memory ratio (frames of data held
+per physical frame), and pages demoted between tiers.
+
+Every cell is an independent ``SweepPoint`` executed by ``repro.sweep``
+(the grid itself lives in ``repro.experiments.tiers_points``), so the
+whole run fans out across ``--jobs`` worker processes and can be
+checkpointed/resumed; rendered tables are identical at any job count.
+
+Run: python experiments/tiers_sweep.py [scale] [--jobs N]
+     [--resume checkpoint.jsonl] [--timeout seconds]
+"""
+
+import argparse
+
+from repro.experiments import render_tiers, tiers_points
+from repro.sweep import run_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scale", nargs="?", type=float, default=0.1)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--resume", default=None,
+                        help="JSONL checkpoint path (created if absent)")
+    parser.add_argument("--timeout", type=float, default=None)
+    args = parser.parse_args()
+
+    points = tiers_points(args.scale)
+    sweep = run_sweep(
+        points,
+        jobs=args.jobs,
+        checkpoint=args.resume,
+        timeout=args.timeout,
+        progress=print,
+    )
+    cells = {point.key: record
+             for point, record in zip(points, sweep.in_order(points))}
+    print(render_tiers(cells))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,4 @@
-"""Three-way memory trading between VM, compression cache, and file cache.
+"""Age-based memory trading between an ordered list of memory pools.
 
 Sprite already traded memory between VM and the file system by comparing
 the ages of each pool's LRU entry and reclaiming the older, "modulo an
@@ -19,12 +19,21 @@ the compression cache degenerates into a buffer for compressing and
 decompressing pages between memory and the backing store" — is the gap
 between ``vm_bias_s`` and ``ccache_bias_s``, swept by the policy-ablation
 benchmark.
+
+The mechanism is not limited to three pools.  :class:`TieredAllocator`
+arbitrates over an *ordered list* of registered pools, each with its own
+``(weight, bias)`` age terms — the shape an N-tier compressed-memory
+hierarchy needs, where every compressed tier competes for frames
+separately (see :mod:`repro.tiers`).  :class:`ThreeWayAllocator` is the
+paper's three-pool configuration of the same machinery, with its terms
+supplied by an :class:`AllocationBiases` trading policy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Protocol
+from math import isfinite
+from typing import Dict, Optional, Protocol, Tuple
 
 from ..mem.frames import FrameOwner, FramePool, OutOfFramesError
 
@@ -39,6 +48,35 @@ class MemoryPool(Protocol):
         """Give one frame back to the pool (charging any write-back I/O
         internally).  Returns a float on success, None when the pool
         cannot shrink right now."""
+
+
+class TradingPolicy(Protocol):
+    """Supplies per-pool ``(weight, bias_seconds)`` age terms.
+
+    Victim selection computes ``effective_age = age * weight + bias`` for
+    each registered pool and reclaims from the largest.  A policy maps a
+    pool's registration key to its two terms; pools registered with
+    explicit terms (the N-tier path) bypass the policy entirely.
+    """
+
+    def terms_for(self, key: object) -> Tuple[float, float]:
+        """``(weight, bias_seconds)`` for the pool registered as ``key``."""
+
+
+def _validate_terms(label: str, weight: float, bias_s: float) -> None:
+    """Reject weights/biases that produce nonsense effective ages."""
+    if not isfinite(weight) or weight <= 0:
+        raise ValueError(
+            f"{label}: age weight must be a positive finite number, "
+            f"got {weight!r} (a zero or negative weight erases or inverts "
+            "LRU ordering)"
+        )
+    if not isfinite(bias_s) or bias_s < 0:
+        raise ValueError(
+            f"{label}: age bias must be a non-negative finite number of "
+            f"seconds, got {bias_s!r} (a negative bias makes effective "
+            "ages meaningless)"
+        )
 
 
 @dataclass(frozen=True)
@@ -56,6 +94,10 @@ class AllocationBiases:
     will tend to grow" at the expense of the uncompressed pool, and a
     middling setting performed best across its application mix (the
     policy-ablation benchmark sweeps this).
+
+    All weights must be positive and all biases non-negative (and every
+    term finite); violations raise ``ValueError`` at construction rather
+    than silently producing inverted or negative effective ages.
     """
 
     file_cache_bias_s: float = 0.0
@@ -65,13 +107,24 @@ class AllocationBiases:
     vm_weight: float = 6.0
     ccache_weight: float = 1.0
 
+    def __post_init__(self) -> None:
+        _validate_terms("file_cache", self.file_cache_weight,
+                        self.file_cache_bias_s)
+        _validate_terms("vm", self.vm_weight, self.vm_bias_s)
+        _validate_terms("ccache", self.ccache_weight, self.ccache_bias_s)
+
     def effective_age(self, owner: FrameOwner, age: float) -> float:
         """Bias-adjusted age used for victim selection."""
+        weight, bias = self.terms_for(owner)
+        return age * weight + bias
+
+    def terms_for(self, owner: FrameOwner) -> Tuple[float, float]:
+        """TradingPolicy protocol: ``(weight, bias)`` for one owner."""
         if owner == FrameOwner.FILE_CACHE:
-            return age * self.file_cache_weight + self.file_cache_bias_s
+            return self.file_cache_weight, self.file_cache_bias_s
         if owner == FrameOwner.VM:
-            return age * self.vm_weight + self.vm_bias_s
-        return age * self.ccache_weight + self.ccache_bias_s
+            return self.vm_weight, self.vm_bias_s
+        return self.ccache_weight, self.ccache_bias_s
 
     def for_owner(self, owner: FrameOwner) -> float:
         """Additive component only (kept for introspection)."""
@@ -86,41 +139,76 @@ class AllocationBiases:
 class AllocatorCounters:
     """How often each pool was chosen as the reclamation victim."""
 
-    victims: Dict[str, int] = field(
-        default_factory=lambda: {owner.value: 0 for owner in FrameOwner}
-    )
+    victims: Dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> dict:
         return dict(self.victims)
 
 
-class ThreeWayAllocator:
-    """Arbitrates physical frames between the three consumers.
+def _pool_label(key: object) -> str:
+    """Stable string label for victim counters and error messages."""
+    return key.value if isinstance(key, FrameOwner) else str(key)
 
-    Pools register themselves once constructed; a pool slot left ``None``
-    simply never competes (e.g. no file cache in a pure-VM experiment).
+
+class TieredAllocator:
+    """Arbitrates physical frames between an ordered list of pools.
+
+    Pools register under a hashable key — a :class:`FrameOwner` for the
+    classic three consumers, a tier name for the compressed tiers of an
+    N-tier chain.  Each pool's ``(weight, bias)`` age terms come either
+    from the installed :class:`TradingPolicy` (keys the policy knows) or
+    from explicit per-registration terms (everything else).
     """
 
     def __init__(
         self,
         frames: FramePool,
-        biases: AllocationBiases | None = None,
+        policy: Optional[TradingPolicy] = None,
         now_fn=None,
     ):
         self.frames = frames
-        self.biases = biases if biases is not None else AllocationBiases()
+        self.policy: Optional[TradingPolicy] = policy
         self._now_fn = now_fn if now_fn is not None else (lambda: 0.0)
-        self._pools: Dict[FrameOwner, Optional[MemoryPool]] = {
-            owner: None for owner in FrameOwner
-        }
+        self._pools: Dict[object, Optional[MemoryPool]] = {}
+        #: Keys whose terms the policy supplies (refreshed lazily when the
+        #: policy object is swapped); other keys carry static terms.
+        self._policy_keys: set = set()
+        self._static_terms: Dict[object, Tuple[float, float]] = {}
         self._shrinking: set = set()
         self.counters = AllocatorCounters()
-        self._bias_src: Optional[AllocationBiases] = None
-        self._bias_terms: Dict[FrameOwner, tuple] = {}
+        self._terms_src: Optional[TradingPolicy] = None
+        self._terms: Dict[object, tuple] = {}
 
-    def register(self, owner: FrameOwner, pool: MemoryPool) -> None:
-        """Attach the pool that manages ``owner``'s frames."""
-        self._pools[owner] = pool
+    def register_pool(
+        self,
+        key: object,
+        pool: Optional[MemoryPool],
+        weight: Optional[float] = None,
+        bias_s: Optional[float] = None,
+    ) -> None:
+        """Attach a pool under ``key`` with explicit or policy terms.
+
+        Passing explicit ``weight``/``bias_s`` pins the pool's age terms
+        at registration (validated immediately); leaving them ``None``
+        defers to the installed trading policy, which must know the key.
+        """
+        label = _pool_label(key)
+        if weight is None and bias_s is None:
+            if self.policy is None:
+                raise ValueError(
+                    f"pool {label!r} registered without terms and no "
+                    "trading policy is installed"
+                )
+            self._policy_keys.add(key)
+        else:
+            weight = 1.0 if weight is None else weight
+            bias_s = 0.0 if bias_s is None else bias_s
+            _validate_terms(label, weight, bias_s)
+            self._static_terms[key] = (weight, bias_s)
+        if key not in self._pools:
+            self.counters.victims.setdefault(label, 0)
+        self._pools[key] = pool
+        self._terms_src = None  # force a term-table rebuild
 
     def obtain_frame(self, for_owner: FrameOwner) -> int:
         """Get a frame for ``for_owner``, reclaiming from the globally
@@ -136,66 +224,107 @@ class ThreeWayAllocator:
                     "no pool can release a frame "
                     f"(requested by {for_owner.value})"
                 )
-            owner, pool = victim
-            self._shrinking.add(owner)
+            key, pool = victim
+            self._shrinking.add(key)
             try:
                 result = pool.shrink_one()
             finally:
-                self._shrinking.discard(owner)
+                self._shrinking.discard(key)
             if result is None:
                 # The pool reneged (e.g. only its tail frame left); retry
                 # without it by marking it temporarily unavailable.
-                self._shrinking.add(owner)
+                self._shrinking.add(key)
                 try:
                     retry = self._choose_victim()
                     if retry is None:
                         raise OutOfFramesError(
                             "every pool refused to release a frame"
                         )
-                    retry_owner, retry_pool = retry
-                    self._shrinking.add(retry_owner)
+                    retry_key, retry_pool = retry
+                    self._shrinking.add(retry_key)
                     try:
                         if retry_pool.shrink_one() is None:
                             raise OutOfFramesError(
                                 "every pool refused to release a frame"
                             )
                     finally:
-                        self._shrinking.discard(retry_owner)
-                    self.counters.victims[retry_owner.value] += 1
+                        self._shrinking.discard(retry_key)
+                    self.counters.victims[_pool_label(retry_key)] += 1
                 finally:
-                    self._shrinking.discard(owner)
+                    self._shrinking.discard(key)
             else:
-                self.counters.victims[owner.value] += 1
+                self.counters.victims[_pool_label(key)] += 1
         return self.frames.allocate(for_owner)
 
     def _choose_victim(self):
-        biases = self.biases
-        if biases is not self._bias_src:
-            # Flatten the per-owner (weight, bias) pairs once per biases
-            # object; victim choice runs for every reclaimed frame.
-            self._bias_src = biases
-            self._bias_terms = {
-                FrameOwner.FILE_CACHE: (
-                    biases.file_cache_weight, biases.file_cache_bias_s
-                ),
-                FrameOwner.VM: (biases.vm_weight, biases.vm_bias_s),
-                FrameOwner.COMPRESSION: (
-                    biases.ccache_weight, biases.ccache_bias_s
-                ),
-            }
-        terms = self._bias_terms
+        policy = self.policy
+        if policy is not self._terms_src:
+            # Flatten per-key (weight, bias) pairs once per policy object;
+            # victim choice runs for every reclaimed frame.
+            self._terms_src = policy
+            terms: Dict[object, tuple] = {}
+            for key in self._pools:
+                if key in self._policy_keys:
+                    terms[key] = policy.terms_for(key)
+                else:
+                    terms[key] = self._static_terms[key]
+            self._terms = terms
+        terms = self._terms
         now = self._now_fn()
         best = None
         best_age = None
-        for owner, pool in self._pools.items():
-            if pool is None or owner in self._shrinking:
+        for key, pool in self._pools.items():
+            if pool is None or key in self._shrinking:
                 continue
             age = pool.coldest_age(now)
             if age is None:
                 continue
-            weight, bias = terms[owner]
+            weight, bias = terms[key]
             effective = age * weight + bias
             if best_age is None or effective > best_age:
                 best_age = effective
-                best = (owner, pool)
+                best = (key, pool)
         return best
+
+
+class ThreeWayAllocator(TieredAllocator):
+    """The paper's three-pool arbitration: VM, compression cache, file
+    cache, with age terms from an :class:`AllocationBiases` policy.
+
+    Pools register themselves once constructed; a pool slot left ``None``
+    simply never competes (e.g. no file cache in a pure-VM experiment).
+    Extra pools — the colder compressed tiers of an N-tier chain — join
+    through :meth:`TieredAllocator.register_pool` with explicit terms.
+    """
+
+    def __init__(
+        self,
+        frames: FramePool,
+        biases: AllocationBiases | None = None,
+        now_fn=None,
+    ):
+        super().__init__(
+            frames,
+            policy=biases if biases is not None else AllocationBiases(),
+            now_fn=now_fn,
+        )
+        # Pre-seed the three classic slots in FrameOwner declaration
+        # order so victim iteration (and tie-breaking) is stable and
+        # identical to the historical three-pool implementation.
+        for owner in FrameOwner:
+            self._pools[owner] = None
+            self._policy_keys.add(owner)
+            self.counters.victims[owner.value] = 0
+
+    @property
+    def biases(self) -> AllocationBiases:
+        """The three-pool trading policy (kept for introspection)."""
+        return self.policy
+
+    @biases.setter
+    def biases(self, value: AllocationBiases) -> None:
+        self.policy = value
+
+    def register(self, owner: FrameOwner, pool: MemoryPool) -> None:
+        """Attach the pool that manages ``owner``'s frames."""
+        self._pools[owner] = pool

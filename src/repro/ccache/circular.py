@@ -142,6 +142,13 @@ class CompressionCache:
         self._dirty_entries = 0
         self._dirty_frames = 0
         self._live_bytes = 0
+        # True while shrink_one is running.  In an N-tier chain a shrink's
+        # write-out demotes into the next tier, whose growth can re-enter
+        # the allocator and pick this cache again; the guard turns that
+        # re-entrant shrink into a refusal (the allocator then picks
+        # another pool).  Single-tier write-outs go straight to the
+        # fragment store and never recurse, so the guard is inert there.
+        self._in_shrink = False
         # FIFO of potentially dirty pages for the cleaner (lazy deletion:
         # stale ids are skipped when popped).
         self._dirty_fifo: deque = deque()
@@ -402,29 +409,40 @@ class CompressionCache:
         Returns 0.0 on success (I/O already charged to the ledger), or
         None when nothing can be released (at most the tail frame left).
         """
+        if self._in_shrink:
+            return None  # re-entrant shrink (nested demotion): refuse
         victim = self._pick_victim_frame()
         if victim is None:
             return None
-        slot = self._frames[victim]
-        # Registration order is ascending offset (the tail only grows),
-        # so a snapshot of the ordered dict replaces the per-slot sort.
-        for page_id in list(slot.pages):
-            entry = self._entries[page_id]
-            if entry.header.dirty:
-                seconds = self._put_resilient(page_id, entry.payload)
-                self.ledger.charge(TimeCategory.IO_WRITE, seconds)
-                self._mark_entry_clean(entry)
-                entry.header.on_backing_store = True
-                if self.written_callback is not None:
-                    self.written_callback(page_id, entry.content_version)
-                self.counters.evicted_dirty_pages += 1
-            else:
-                self.counters.evicted_clean_pages += 1
-            self._unlink(page_id)
-        if victim in self._frames:
-            # _unlink releases emptied frames automatically; if the victim
-            # survived (it was empty to begin with), release it here.
-            self._release_frame(victim)
+        self._in_shrink = True
+        try:
+            slot = self._frames[victim]
+            # Registration order is ascending offset (the tail only
+            # grows), so a snapshot of the ordered dict replaces the
+            # per-slot sort.
+            for page_id in list(slot.pages):
+                entry = self._entries.get(page_id)
+                if entry is None:
+                    continue  # unlinked by a nested operation mid-shrink
+                if entry.header.dirty:
+                    seconds = self._put_resilient(page_id, entry.payload)
+                    self.ledger.charge(TimeCategory.IO_WRITE, seconds)
+                    self._mark_entry_clean(entry)
+                    entry.header.on_backing_store = True
+                    if self.written_callback is not None:
+                        self.written_callback(page_id, entry.content_version)
+                    self.counters.evicted_dirty_pages += 1
+                else:
+                    self.counters.evicted_clean_pages += 1
+                if page_id in self._entries:
+                    self._unlink(page_id)
+            if victim in self._frames:
+                # _unlink releases emptied frames automatically; if the
+                # victim survived (it was empty to begin with), release
+                # it here.
+                self._release_frame(victim)
+        finally:
+            self._in_shrink = False
         return 0.0
 
     def _put_resilient(self, page_id: PageId, payload: bytes) -> float:
@@ -467,7 +485,14 @@ class CompressionCache:
         if index in self._frames:
             return
         if self.max_frames is not None and len(self._frames) >= self.max_frames:
-            if self.shrink_one() is None:
+            if self._in_shrink:
+                # A nested insert arrived while this cache is mid-shrink
+                # (the allocator reclaimed a VM page whose eviction
+                # compresses back into this tier).  Allow a temporary
+                # overshoot of the cap; the in-flight shrink is already
+                # rebalancing.
+                pass
+            elif self.shrink_one() is None:
                 raise RuntimeError(
                     "fixed-size compression cache cannot grow past "
                     f"{self.max_frames} frames and has nothing to evict"

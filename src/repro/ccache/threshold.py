@@ -53,7 +53,11 @@ class AdaptiveCompressionGate:
         self._outcomes: deque = deque(maxlen=window)
         self._bypass_remaining = 0
         self.times_closed = 0
+        self.times_reopened = 0
         self.pages_bypassed = 0
+        #: Compression attempts whose keep/reject outcome the gate saw
+        #: (every eviction-path compression while the gate was open).
+        self.probes = 0
 
     @property
     def open(self) -> bool:
@@ -70,9 +74,11 @@ class AdaptiveCompressionGate:
             if self._bypass_remaining == 0:
                 # Probe again with a clean slate.
                 self._outcomes.clear()
+                self.times_reopened += 1
 
     def record(self, kept: bool) -> None:
         """Record a compression attempt's threshold outcome."""
+        self.probes += 1
         self._outcomes.append(kept)
         if not self.enabled:
             return
@@ -89,3 +95,25 @@ class AdaptiveCompressionGate:
         if not self._outcomes:
             return 1.0
         return sum(self._outcomes) / len(self._outcomes)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable gate state and lifetime counters.
+
+        Surfaced through :meth:`repro.sim.engine.RunResult.as_dict` (the
+        ``"gate"`` key) whenever the gate is enabled or an explicit tier
+        spec is installed, so per-run gate behaviour — probes, closures,
+        reopen transitions, bypassed pages — is observable from
+        ``repro run --json`` without attaching a debugger.
+        """
+        return {
+            "enabled": self.enabled,
+            "open": self.open,
+            "probes": self.probes,
+            "pages_bypassed": self.pages_bypassed,
+            "times_closed": self.times_closed,
+            "times_reopened": self.times_reopened,
+            "recent_keep_rate": self.recent_keep_rate,
+            "window": self.window,
+            "min_keep_rate": self.min_keep_rate,
+            "cooloff_pages": self.cooloff_pages,
+        }

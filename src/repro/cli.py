@@ -95,11 +95,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"run: cannot load fault plan {args.faults!r}: {exc}",
                   file=sys.stderr)
             return 2
+    tiers = None
+    if args.tiers:
+        from .tiers.spec import parse_tier_specs
+
+        try:
+            tiers = parse_tier_specs(args.tiers)
+        except ValueError as exc:
+            print(f"run: bad --tiers spec {args.tiers!r}: {exc}",
+                  file=sys.stderr)
+            return 2
     workload = factory(args.scale)
     config = MachineConfig(
         memory_bytes=mbytes(args.memory_mb * args.scale),
         fault_plan=plan,
         paranoid=args.paranoid,
+        tiers=tiers,
     )
     machine = Machine(config, workload.build())
     result = run_workload(machine, workload.references(), drain=args.drain)
@@ -160,7 +171,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     results; CI compares digests across ``--jobs`` values to prove
     parallel == serial.
     """
-    from .experiments import ablation_points, figure3_points, table1_points
+    from .experiments import (
+        ablation_points,
+        figure3_points,
+        table1_points,
+        tiers_points,
+    )
     from .sweep import run_sweep
 
     say = (lambda _msg: None) if args.digest else print
@@ -173,6 +189,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                          seed=args.seed))
     elif args.experiment == "table1":
         points = table1_points(scale=args.scale)
+    elif args.experiment == "tiers":
+        points = tiers_points(args.scale)
     else:  # ablations
         points = ablation_points(args.scale)
     sweep = run_sweep(
@@ -337,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="evict and flush everything at the end")
     run.add_argument("--paranoid", action="store_true",
                      help="verify every decompression round trip")
+    run.add_argument("--tiers", default="", metavar="SPEC",
+                     help="compressed-tier chain, warmest first: "
+                          "comma-separated compressor[:max_frames"
+                          "[:compress_scale]] items (0 frames = uncapped), "
+                          "or the 'two-tier' preset; see docs/tiers.md")
     run.add_argument("--digest", action="store_true",
                      help="print only a sha256 of the full result (the "
                           "chaos determinism check)")
@@ -370,7 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run an experiment as a parallel, resumable sweep"
     )
     sweep.add_argument("--experiment",
-                       choices=("figure3", "table1", "ablations"),
+                       choices=("figure3", "table1", "ablations", "tiers"),
                        default="figure3")
     sweep.add_argument("--scale", type=float, default=0.2)
     sweep.add_argument("--mode", choices=("rw", "ro", "both"),

@@ -41,6 +41,7 @@ from .sim.machine import Machine, MachineConfig
 from .sim.report import format_minutes_seconds, render_table
 from .storage.blockfs import PartialWritePolicy
 from .sweep import SweepPoint, run_sweep
+from .tiers.spec import parse_tier_specs
 from .workloads import (
     CacheSimWorkload,
     CompareWorkload,
@@ -527,7 +528,8 @@ def config_from_spec(spec: Mapping[str, Any]) -> MachineConfig:
     ``filesystem``, ``partial_write_policy`` (enum value string),
     ``fragment_size``, ``batch_bytes``, ``allow_spanning``, ``biases``
     (three-weight mapping), ``costs`` (``"base"``, ``"hardware"`` or
-    ``["cpu", factor]``), and ``vm_architecture``.
+    ``["cpu", factor]``), ``vm_architecture``, and ``tiers`` (a
+    :func:`repro.tiers.spec.parse_tier_specs` string).
     """
     changes: Dict[str, Any] = {}
     passthrough = (
@@ -559,6 +561,8 @@ def config_from_spec(spec: Mapping[str, Any]) -> MachineConfig:
             changes["costs"] = CostModel.faster_cpu(float(costs[1]))
         else:
             raise ValueError(f"unknown costs spec: {costs!r}")
+    if "tiers" in spec and spec["tiers"] is not None:
+        changes["tiers"] = parse_tier_specs(spec["tiers"])
     return MachineConfig(**changes)
 
 
@@ -774,3 +778,116 @@ def render_ablations(cells: Mapping[str, Mapping[str, Any]]) -> str:
         ),
     ]
     return "\n\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# Tier-chain comparison: the paper's single cache versus a 2-tier chain
+# ----------------------------------------------------------------------
+#
+# The N-tier generalization (repro.tiers) asks whether splitting the
+# compression cache into a small fast-kernel L1 over a high-ratio L2
+# buys anything: compressed-memory hit rate (faults served without I/O)
+# and effective memory (frames' worth of data held in memory) are the
+# two axes the comparison reports.
+
+#: Import path of the tier-comparison runner (see ``repro.sweep``).
+TIERS_RUNNER = "repro.experiments:run_tiers_point"
+
+#: The chains the comparison sweeps: the paper's single cache and the
+#: fast-L1/high-ratio-L2 preset (see ``repro.tiers.spec``).
+TIERS_CHAINS: Tuple[Tuple[str, Optional[str]], ...] = (
+    ("1-tier", None),
+    ("2-tier", "two-tier"),
+)
+
+
+def run_tiers_point(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    """Sweep runner: one (chain, workload) cell of the tier comparison.
+
+    Spec: ``{"config": {...}, "workload": {...}}`` per the decoders
+    above; ``config["tiers"]`` selects the chain (absent = the default
+    single cache).  Reports the compressed-memory hit rate, the
+    end-of-run effective memory (resident + compressed pages held, as a
+    ratio of physical frames), and the per-tier snapshots.
+    """
+    config = config_from_spec(spec["config"])
+    workload = workload_from_spec(spec["workload"])
+    machine = Machine(config, workload.build())
+    result = SimulationEngine(machine).run(workload.references())
+    faults = result.metrics_snapshot["faults"]
+    total = faults["total"]
+    chain = machine.chain
+    total_frames = machine.frames.total_frames
+    # Frames the chain occupies hold compressed_pages pages' worth of
+    # data; everything else holds one page per frame.
+    effective = (
+        total_frames - chain.mapped_frames() + chain.compressed_pages()
+    )
+    return {
+        "elapsed_seconds": result.elapsed_seconds,
+        "faults_total": total,
+        "compressed_hit_rate": (
+            faults["from_ccache"] / total if total else 0.0
+        ),
+        "effective_frames": effective,
+        "effective_memory_ratio": (
+            effective / total_frames if total_frames else 0.0
+        ),
+        "demoted_pages": chain.demoted_pages(),
+        "tiers": chain.snapshot(),
+    }
+
+
+def tiers_points(scale: float) -> List[SweepPoint]:
+    """The 1-tier-versus-2-tier grid (experiments/tiers_sweep.py)."""
+    memory = mbytes(6 * scale)
+    workloads: Dict[str, Mapping[str, Any]] = {
+        "thrasher": {
+            "kind": "thrasher",
+            "working_set_bytes": int(memory * 2),
+            "cycles": 3,
+            "write": True,
+        },
+        "gold-warm": {
+            "kind": "gold",
+            "mode": "warm",
+            "index_bytes": mbytes(30 * scale),
+            "operations": max(30, int(8000 * scale)),
+            "hot_fraction": 0.3,
+            "hot_probability": 0.8,
+        },
+    }
+    points: List[SweepPoint] = []
+    for wname, workload in workloads.items():
+        for cname, tiers in TIERS_CHAINS:
+            config: Dict[str, Any] = {"memory_bytes": memory}
+            if tiers is not None:
+                config["tiers"] = tiers
+            points.append(SweepPoint(
+                runner=TIERS_RUNNER,
+                spec={"config": config, "workload": dict(workload)},
+                key=f"tiers/{cname}/{wname}",
+            ))
+    return points
+
+
+def render_tiers(cells: Mapping[str, Mapping[str, Any]]) -> str:
+    """The tier-comparison table, from completed cell results by key."""
+    rows = []
+    for wname in ("thrasher", "gold-warm"):
+        for cname, _tiers in TIERS_CHAINS:
+            cell = cells[f"tiers/{cname}/{wname}"]
+            rows.append([
+                wname,
+                cname,
+                f"{cell['elapsed_seconds']:.1f}",
+                f"{cell['compressed_hit_rate'] * 100:.1f}%",
+                f"{cell['effective_memory_ratio']:.2f}",
+                str(cell["demoted_pages"]),
+            ])
+    return render_table(
+        ["workload", "chain", "elapsed (s)", "compressed hit rate",
+         "effective memory", "demotions"],
+        rows,
+        title="Compressed-memory hierarchy: 1-tier versus 2-tier",
+    )

@@ -10,15 +10,17 @@ The trade this architecture makes is measurable with the benchmarks: the
 pager pays an IPC round trip per crossing (and an extra page copy across
 the protection boundary), but the cache policy becomes a replaceable
 user-level component.
+
+Like the in-kernel VM, the pager drives a
+:class:`~repro.tiers.chain.TierChain`: pageouts compress into the
+warmest tier, each tier's cleaner demotes cold-ward, and pageins are
+served from the warmest tier holding the page.  A one-tier chain is the
+paper's configuration.
 """
 
 from __future__ import annotations
 
-from ..ccache.circular import CompressionCache
-from ..ccache.cleaner import CleanerPolicy
-from ..ccache.threshold import AdaptiveCompressionGate
 from ..compression.base import CompressionError, CompressionResult
-from ..compression.sampler import CompressionSampler
 from ..compression.stats import CompressionStats
 from ..faults.errors import (
     IORetriesExhausted,
@@ -29,42 +31,38 @@ from ..mem.frames import FramePool
 from ..mem.page import PageId
 from ..sim.costs import CostModel
 from ..sim.ledger import Ledger, TimeCategory
-from ..storage.fragstore import FragmentStore
-from ..storage.swap import StandardSwap
+from ..tiers.chain import TierChain
+from ..tiers.compressed import CompressedTier
 from .interface import MemoryObjectPager, PagerError
 
 
 class CompressionPager(MemoryObjectPager):
-    """A compression cache living entirely behind the pager interface."""
+    """A compressed tier chain living entirely behind the pager interface."""
 
     def __init__(
         self,
-        ccache: CompressionCache,
-        fragstore: FragmentStore,
-        swap: StandardSwap,
-        sampler: CompressionSampler,
+        chain: TierChain,
         ledger: Ledger,
         costs: CostModel,
         page_size: int = 4096,
-        gate: AdaptiveCompressionGate | None = None,
-        cleaner: CleanerPolicy | None = None,
         frames: FramePool | None = None,
         resilience=None,
         injector=None,
         retry=None,
         degradation=None,
     ):
-        self.ccache = ccache
-        self.fragstore = fragstore
-        self.swap = swap
-        self.sampler = sampler
+        self.chain = chain
+        self.tiers = chain.tiers
+        warmest = chain.warmest
+        self.ccache = warmest.cache
+        self.sampler = warmest.sampler
+        self.gate = warmest.gate
+        self.cleaner = warmest.cleaner
+        self.fragstore = chain.fragstore
+        self.swap = chain.swap
         self.ledger = ledger
         self.costs = costs
         self.page_size = page_size
-        self.gate = gate if gate is not None else AdaptiveCompressionGate(
-            enabled=False
-        )
-        self.cleaner = cleaner if cleaner is not None else CleanerPolicy()
         self.frames = frames
         self.resilience = resilience
         self.injector = injector
@@ -88,8 +86,9 @@ class CompressionPager(MemoryObjectPager):
             # The kernel's copy matched what we already hold: if it is
             # still compressed in memory or on a store, nothing to do.
             return
-        if page_id in self.ccache:
-            self.ccache.drop(page_id)  # superseded contents
+        for tier in self.tiers:
+            if page_id in tier.cache:
+                tier.cache.drop(page_id)  # superseded contents
         version = self._versions.get(page_id, 0) + 1
         self._versions[page_id] = version
         self._raw_on_swap.discard(page_id)
@@ -100,7 +99,8 @@ class CompressionPager(MemoryObjectPager):
         if self.gate.open and not bypass_degraded:
             self.ledger.charge(
                 TimeCategory.COMPRESS,
-                self.costs.compress_seconds(self.page_size),
+                self.costs.compress_seconds(self.page_size)
+                * self.chain.warmest.spec.compress_scale,
             )
             result = self._compress_for_pageout(data)
             if result is not None:
@@ -168,28 +168,19 @@ class CompressionPager(MemoryObjectPager):
         return result
 
     def pagein(self, page_id: PageId) -> bytes:
-        if page_id in self.ccache:
-            remove = self.ccache.is_dirty(page_id)
-            payload, _ = self.ccache.fetch(
+        tier = self.chain.find(page_id)
+        if tier is not None:
+            cache = tier.cache
+            remove = cache.is_dirty(page_id)
+            payload, _ = cache.fetch(
                 page_id, remove=remove, now=self.ledger.now
             )
-            self.ledger.charge(
-                TimeCategory.DECOMPRESS,
-                self.costs.decompress_seconds(self.page_size),
-            )
-            return self.sampler.compressor.decompress(
-                CompressionResult(payload, self.page_size)
-            )
+            return self._decompress(payload, tier)
         if self.fragstore.contains(page_id):
             payload, seconds, _ = self._get_fragment(page_id)
             self.ledger.charge(TimeCategory.IO_READ, seconds)
-            self.ledger.charge(
-                TimeCategory.DECOMPRESS,
-                self.costs.decompress_seconds(self.page_size),
-            )
-            return self.sampler.compressor.decompress(
-                CompressionResult(payload, self.page_size)
-            )
+            # Store payloads carry the coldest tier's encoding.
+            return self._decompress(payload, self.chain.coldest)
         if page_id in self._raw_on_swap:
             if self.retry is None:
                 data, seconds = self.swap.read_page(page_id)
@@ -206,6 +197,17 @@ class CompressionPager(MemoryObjectPager):
             self.ledger.charge(TimeCategory.IO_READ, seconds)
             return data
         raise PagerError(f"pagein for unknown page {page_id}")
+
+    def _decompress(self, payload: bytes, tier: CompressedTier) -> bytes:
+        """Charge and perform decompression with the tier's kernel."""
+        self.ledger.charge(
+            TimeCategory.DECOMPRESS,
+            self.costs.decompress_seconds(self.page_size)
+            * tier.spec.compress_scale,
+        )
+        return tier.sampler.compressor.decompress(
+            CompressionResult(payload, self.page_size)
+        )
 
     def _get_fragment(self, page_id: PageId):
         """Fetch a fragment, surfacing resilient failures as PagerErrors.
@@ -235,27 +237,34 @@ class CompressionPager(MemoryObjectPager):
         return self._holds_current(page_id)
 
     def tick(self) -> None:
-        """Run the cleaner, as the in-kernel version does after faults."""
+        """Run the cleaners, as the in-kernel version does after faults."""
         free = self.frames.free_frames if self.frames is not None else 0
-        goal = self.cleaner.pages_to_clean(
-            free_frames=free,
-            reclaimable_frames=self.ccache.reclaimable_frames(),
-            cache_frames=self.ccache.nframes,
-        )
-        if goal > 0:
-            self.ccache.clean_pages(goal)
+        for tier in self.tiers:
+            cache = tier.cache
+            goal = tier.cleaner.pages_to_clean(
+                free_frames=free,
+                reclaimable_frames=cache.reclaimable_frames(),
+                cache_frames=cache.nframes,
+            )
+            if goal > 0:
+                cache.clean_pages(goal)
         gc_seconds = self.fragstore.maybe_collect()
         if gc_seconds:
             self.ledger.charge(TimeCategory.GC, gc_seconds)
 
     def flush(self) -> None:
+        # Tiers drain warm to cold: a warm tier's clean pass demotes its
+        # dirty pages into the next tier, whose own pass pushes them
+        # further until the terminal tier's write-outs reach the store.
         # Under fault injection a clean pass can stall on a write error
         # and re-queue the page; keep going while progress is possible.
-        # Without a plan this loop runs exactly once.
-        attempts = 0
-        while self.ccache.dirty_pages() and attempts < 1000:
-            self.ccache.clean_pages(self.ccache.dirty_pages())
-            attempts += 1
+        # Without a plan each loop runs exactly once.
+        for tier in self.tiers:
+            cache = tier.cache
+            attempts = 0
+            while cache.dirty_pages() and attempts < 1000:
+                cache.clean_pages(cache.dirty_pages())
+                attempts += 1
         try:
             seconds = self.fragstore.flush()
         except PagingFaultError as exc:
@@ -272,7 +281,7 @@ class CompressionPager(MemoryObjectPager):
 
     def _holds_current(self, page_id: PageId) -> bool:
         return (
-            page_id in self.ccache
+            self.chain.holds(page_id)
             or self.fragstore.contains(page_id)
             or page_id in self._raw_on_swap
         )

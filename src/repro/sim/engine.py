@@ -60,6 +60,13 @@ class RunResult:
     #: (keeping the serialized form — and its digests — unchanged for
     #: every plan-free run).
     fault_counters: Optional[Dict[str, object]] = None
+    #: Adaptive-gate counters (probes, bypasses, open/close transitions);
+    #: ``None`` unless the gate is enabled or an explicit tier chain is
+    #: configured — default runs keep their serialized form unchanged.
+    gate_counters: Optional[Dict[str, object]] = None
+    #: Per-tier snapshots (warmest first, store last); ``None`` unless an
+    #: explicit tier chain is configured.
+    tier_counters: Optional[list] = None
 
     @property
     def sampler_hit_rate(self) -> float:
@@ -102,6 +109,10 @@ class RunResult:
         }
         if self.fault_counters is not None:
             payload["resilience"] = self.fault_counters
+        if self.gate_counters is not None:
+            payload["gate"] = self.gate_counters
+        if self.tier_counters is not None:
+            payload["tiers"] = self.tier_counters
         return _jsonable(payload)
 
 
@@ -223,6 +234,15 @@ class SimulationEngine:
                 machine.resilience.snapshot()
                 if machine.resilience is not None
                 else None
+            ),
+            gate_counters=(
+                machine.gate.snapshot()
+                if machine.gate is not None
+                and (machine.gate.enabled or machine.explicit_tiers)
+                else None
+            ),
+            tier_counters=(
+                machine.chain.snapshot() if machine.explicit_tiers else None
             ),
         )
 

@@ -32,6 +32,7 @@ class TimeCategory(enum.Enum):
     CLEANER = "cleaner"            # background write-out (charged in-line)
     GC = "gc"                      # compressed-swap garbage collection
     RETRY_BACKOFF = "retry-backoff"  # waits between failed-I/O attempts
+    DEMOTE = "demote"              # inter-tier recompression (N-tier chains)
 
 
 class Ledger:

@@ -17,7 +17,7 @@ compression-cache configuration real frames, as they did in 1993.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ccache.allocator import AllocationBiases, ThreeWayAllocator
 from ..ccache.circular import CompressionCache
@@ -42,6 +42,9 @@ from ..storage.fragstore import FragmentStore
 from ..storage.lfs import LogStructuredFS
 from ..storage.network import NetworkModel
 from ..storage.swap import StandardSwap
+from ..tiers.chain import TierChain
+from ..tiers.compressed import CompressedTier, DemotionSink
+from ..tiers.spec import TierSpec, validate_tier_specs
 from ..vm.compressed import CompressedVM
 from ..vm.faults import VmConfigurationError
 from ..vm.standard import StandardVM
@@ -100,8 +103,16 @@ class MachineConfig:
     #: Deterministic fault-injection plan; ``None`` (the default) builds
     #: no fault machinery at all and leaves the hot path untouched.
     fault_plan: Optional[FaultPlan] = None
+    #: Explicit compressed-tier chain, warmest first (see
+    #: :mod:`repro.tiers`).  ``None`` — the default and the paper's
+    #: configuration — builds the single compression cache from the
+    #: ``compressor``/``ccache_max_frames``/``cleaner`` fields above.
+    tiers: Optional[Tuple[TierSpec, ...]] = None
 
     def __post_init__(self) -> None:
+        if self.tiers is not None:
+            object.__setattr__(self, "tiers", tuple(self.tiers))
+            validate_tier_specs(self.tiers)
         for name in (
             "memory_bytes", "page_size", "fragment_size", "batch_bytes"
         ):
@@ -214,6 +225,11 @@ class Machine:
         self.ccache: Optional[CompressionCache] = None
         self.sampler: Optional[CompressionSampler] = None
         self.gate: Optional[AdaptiveCompressionGate] = None
+        self.chain: Optional[TierChain] = None
+        #: True when the configuration names an explicit tier chain;
+        #: reporting then includes per-tier and gate snapshots that the
+        #: default (digest-pinned) output omits.
+        self.explicit_tiers = config.tiers is not None
 
         if config.vm_architecture not in ("monolithic", "external-pager"):
             raise VmConfigurationError(
@@ -233,37 +249,91 @@ class Machine:
                 resilience=self.resilience,
                 injector=self.injector,
             )
-            self.sampler = CompressionSampler(
-                create_compressor(config.compressor),
-                exact=exact,
-                keep_payloads=True,
-            )
-            self.ccache = CompressionCache(
-                self.frames,
-                self.fragstore,
-                self.ledger,
-                page_size=config.page_size,
-                frame_provider=self.allocator.obtain_frame,
-                max_frames=config.ccache_max_frames,
-                resilience=self.resilience,
-                retry=self.retry,
-            )
-            self.allocator.register(FrameOwner.COMPRESSION, self.ccache)
-            self.gate = AdaptiveCompressionGate(enabled=config.adaptive_gate)
+            if config.tiers is not None:
+                specs: Tuple[TierSpec, ...] = config.tiers
+            else:
+                # The paper's single cache, expressed as a one-tier chain
+                # from the legacy scalar fields.
+                specs = (
+                    TierSpec(
+                        name="cc",
+                        compressor=config.compressor,
+                        max_frames=config.ccache_max_frames,
+                        cleaner=config.cleaner,
+                    ),
+                )
+            # Build cold to warm: each warmer tier's write-out sink needs
+            # its colder neighbour to exist first.
+            tiers: List[Optional[CompressedTier]] = [None] * len(specs)
+            next_tier: Optional[CompressedTier] = None
+            for i in range(len(specs) - 1, -1, -1):
+                spec = specs[i]
+                sampler = CompressionSampler(
+                    create_compressor(spec.compressor),
+                    exact=exact,
+                    keep_payloads=True,
+                )
+                if next_tier is None:
+                    backing = self.fragstore
+                    sink = None
+                else:
+                    sink = DemotionSink(
+                        self.ledger, config.costs, config.page_size
+                    )
+                    backing = sink
+                cache = CompressionCache(
+                    self.frames,
+                    backing,
+                    self.ledger,
+                    page_size=config.page_size,
+                    frame_provider=self.allocator.obtain_frame,
+                    max_frames=spec.max_frames,
+                    resilience=self.resilience,
+                    retry=self.retry,
+                )
+                tier = CompressedTier(
+                    spec=spec,
+                    cache=cache,
+                    sampler=sampler,
+                    # Only the warmest tier's gate can close: the gate
+                    # models disabling eviction-path compression, and
+                    # evictions enter the chain at the top.
+                    gate=AdaptiveCompressionGate(
+                        enabled=config.adaptive_gate and i == 0
+                    ),
+                    cleaner=spec.cleaner,
+                    sink=sink,
+                )
+                if sink is not None:
+                    sink.source = tier
+                    sink.target = next_tier
+                tiers[i] = tier
+                next_tier = tier
+            self.chain = TierChain(tuple(tiers), self.fragstore, self.swap)
+            warmest = self.chain.warmest
+            self.ccache = warmest.cache
+            self.sampler = warmest.sampler
+            self.gate = warmest.gate
+            # The warmest tier takes the classic compression slot (its
+            # terms come from the trading policy); colder tiers compete
+            # with their own per-spec terms.
+            self.allocator.register(FrameOwner.COMPRESSION, warmest.cache)
+            for tier in self.chain.tiers[1:]:
+                self.allocator.register_pool(
+                    f"cc:{tier.name}",
+                    tier.cache,
+                    weight=tier.spec.weight,
+                    bias_s=tier.spec.bias_s,
+                )
             if external:
                 from ..pager.compression import CompressionPager
                 from ..vm.external import ExternalPagerVM
 
                 self.pager = CompressionPager(
-                    ccache=self.ccache,
-                    fragstore=self.fragstore,
-                    swap=self.swap,
-                    sampler=self.sampler,
+                    chain=self.chain,
                     ledger=self.ledger,
                     costs=config.costs,
                     page_size=config.page_size,
-                    gate=self.gate,
-                    cleaner=config.cleaner,
                     frames=self.frames,
                     resilience=self.resilience,
                     injector=self.injector,
@@ -290,12 +360,8 @@ class Machine:
                     allocator=self.allocator,
                     ledger=self.ledger,
                     costs=config.costs,
-                    ccache=self.ccache,
-                    sampler=self.sampler,
+                    chain=self.chain,
                     swap=self.swap,
-                    fragstore=self.fragstore,
-                    gate=self.gate,
-                    cleaner=config.cleaner,
                     min_resident_frames=config.min_resident_frames,
                     prefetch_colocated=config.prefetch_colocated,
                     paranoid=config.paranoid,
@@ -344,9 +410,13 @@ class Machine:
         )
         if config.compression_cache:
             max_cache_frames = config.memory_bytes // config.page_size
+            # Each tier carries its own hash table and compressor code;
+            # slot descriptors scale with the frames the caches could
+            # jointly occupy, which is bounded by physical memory however
+            # many tiers share it.
+            ntiers = len(config.tiers) if config.tiers is not None else 1
             overhead += (
-                HASH_TABLE_BYTES
-                + CODE_SIZE_BYTES
+                (HASH_TABLE_BYTES + CODE_SIZE_BYTES) * ntiers
                 + SLOT_DESCRIPTOR_BYTES * max_cache_frames
             )
         return overhead

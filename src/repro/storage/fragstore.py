@@ -159,6 +159,11 @@ class FragmentStore:
         return self._append_offset
 
     @property
+    def live_pages(self) -> int:
+        """Number of pages with a current compressed copy in the file."""
+        return len(self._locations)
+
+    @property
     def garbage_fraction(self) -> float:
         """Fraction of the file occupied by obsolete or skipped bytes."""
         if self._append_offset == 0:

@@ -1,0 +1,69 @@
+"""The cold end of the chain: the backing store.
+
+Wraps the fragment store (compressed pages, batched into file blocks)
+and the raw swap (pages that failed the threshold) as the terminal
+:class:`~repro.tiers.protocol.MemoryTier`.  It occupies no physical
+frames and never shrinks; ``fault`` is served by the VM's own I/O paths
+(which own retry/backstop policy), so the adapter only answers the
+queries the chain needs — membership and stats.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..mem.page import PageId
+from ..storage.fragstore import FragmentStore
+from ..storage.swap import StandardSwap
+from .protocol import TierStats
+
+
+class StoreTier:
+    """Terminal tier over the fragment store and the raw swap."""
+
+    def __init__(self, fragstore: FragmentStore, swap: StandardSwap,
+                 name: str = "store"):
+        self.fragstore = fragstore
+        self.swap = swap
+        self.name = name
+
+    def admit(self, page_id, payload, dirty, now, content_version=-1,
+              on_backing_store=False) -> None:
+        raise NotImplementedError(
+            "store writes flow through the terminal compressed tier's "
+            "write-out paths, which own the I/O charging"
+        )
+
+    def fault(self, page_id: PageId, now: float,
+              remove: bool = True) -> Tuple[bytes, bool]:
+        raise NotImplementedError(
+            "store reads flow through the VM's fragment/swap I/O paths, "
+            "which own retry and backstop policy"
+        )
+
+    def demote(self, max_pages: int) -> int:
+        return 0  # nothing colder exists
+
+    def shrink(self) -> Optional[float]:
+        return None  # the store holds no physical frames
+
+    def stats(self) -> TierStats:
+        return TierStats(
+            name=self.name,
+            kind="store",
+            frames=0,
+            pages=self.fragstore.live_pages,
+            counters={
+                "fragstore": self.fragstore.counters.snapshot(),
+                "swap": self.swap.counters.snapshot(),
+            },
+        )
+
+    def contains(self, page_id: PageId) -> bool:
+        return (
+            self.fragstore.contains(page_id)
+            or self.swap.contains(page_id)
+        )
+
+    def coldest_age(self, now: float) -> Optional[float]:
+        return None  # the store never competes for frames

@@ -1,0 +1,60 @@
+"""The warm end of the chain: uncompressed resident pages.
+
+The VM system itself manages residency (it *is* the uncompressed pool —
+it already implements ``coldest_age``/``shrink_one`` for the allocator).
+This adapter gives that pool the :class:`~repro.tiers.protocol.MemoryTier`
+face so a chain can be described uniformly, and surfaces its stats next
+to the compressed tiers' in reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..mem.frames import FrameOwner
+from ..mem.page import PageId
+from .protocol import TierStats
+
+
+class UncompressedTier:
+    """Adapter over a :class:`~repro.vm.system.BaseVM`'s resident set."""
+
+    def __init__(self, vm, name: str = "resident"):
+        self.vm = vm
+        self.name = name
+
+    def admit(self, page_id, payload, dirty, now, content_version=-1,
+              on_backing_store=False) -> None:
+        raise NotImplementedError(
+            "pages enter the uncompressed tier by faulting, not admission"
+        )
+
+    def fault(self, page_id: PageId, now: float,
+              remove: bool = True) -> Tuple[bytes, bool]:
+        raise NotImplementedError(
+            "resident pages are read in place, not faulted out of the tier"
+        )
+
+    def demote(self, max_pages: int) -> int:
+        """Evicting residents is driven by the allocator, not a cleaner."""
+        return 0
+
+    def shrink(self) -> Optional[float]:
+        return self.vm.shrink_one()
+
+    def stats(self) -> TierStats:
+        frames = self.vm.frames.owned_by(FrameOwner.VM)
+        return TierStats(
+            name=self.name,
+            kind="uncompressed",
+            frames=frames,
+            pages=frames,
+            counters={},
+        )
+
+    def contains(self, page_id: PageId) -> bool:
+        entry = self.vm.address_space.entry(page_id)
+        return entry.frame is not None
+
+    def coldest_age(self, now: float) -> Optional[float]:
+        return self.vm.coldest_age(now)

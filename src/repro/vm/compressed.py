@@ -1,4 +1,4 @@
-"""Demand paging through the compression cache.
+"""Demand paging through the compressed-memory tier chain.
 
 The Section 4.1 flow, verbatim from the paper:
 
@@ -22,6 +22,14 @@ Plus the two accelerations the paper describes:
   and every other compressed page in those blocks can enter the cache for
   free I/O ("multiple pages can be obtained with a single read").
 
+The paper's single compression cache generalizes here to a
+:class:`~repro.tiers.chain.TierChain`: evictions compress into the
+warmest tier, tier cleaners demote dirty pages cold-ward (recompressing
+with the colder tier's kernel), the terminal tier's write-outs reach the
+fragment store, and faults are served from the warmest tier holding the
+page.  A one-tier chain — the default configuration — follows exactly
+the call sequence of the original single-cache implementation.
+
 The adaptive gate (:class:`AdaptiveCompressionGate`) implements the
 paper's "it should be possible to disable compression completely when
 poor compression is obtained" follow-on; it ships disabled-by-default to
@@ -33,11 +41,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..ccache.allocator import ThreeWayAllocator
-from ..ccache.circular import CompressionCache
-from ..ccache.cleaner import CleanerPolicy
-from ..ccache.threshold import AdaptiveCompressionGate
 from ..compression.base import CompressionError, CompressionResult
-from ..compression.sampler import CompressionSampler
 from ..faults.errors import (
     FragmentChecksumError,
     IORetriesExhausted,
@@ -50,8 +54,9 @@ from ..mem.pagetable import PageTableEntry
 from ..mem.segment import AddressSpace
 from ..sim.costs import CostModel
 from ..sim.ledger import Ledger, TimeCategory
-from ..storage.fragstore import FragmentStore
 from ..storage.swap import StandardSwap
+from ..tiers.chain import TierChain
+from ..tiers.compressed import CompressedTier
 from .faults import FaultSource
 from .system import BaseVM
 
@@ -61,18 +66,14 @@ _STORE_RAW = "raw"
 
 
 class CompressedVM(BaseVM):
-    """VM system with the compression cache as an intermediate level.
+    """VM system with the compressed tier chain as intermediate levels.
 
     Args:
-        ccache: the circular-buffer compression cache.
-        sampler: compression measurement (must keep payloads).
+        chain: the ordered compressed tiers over the fragment store;
+            a one-tier chain reproduces the paper's design.
         swap: uncompressed swap for pages failing the 4:3 threshold.
-        fragstore: compressed swap for everything else.
-        gate: adaptive compression disable; pass ``enabled=False`` (the
-            default) to reproduce the measured system.
-        cleaner: background write-out pacing policy.
         prefetch_colocated: admit other compressed pages transferred by
-            the same block read into the cache.
+            the same block read into the (coldest) cache.
         max_prefetch_pages: bound per-fault prefetch admissions.
         paranoid: verify every decompression round trip (slow).
         resilience: fault-layer counters (``None`` = no fault plan).
@@ -91,12 +92,8 @@ class CompressedVM(BaseVM):
         allocator: ThreeWayAllocator,
         ledger: Ledger,
         costs: CostModel,
-        ccache: CompressionCache,
-        sampler: CompressionSampler,
+        chain: TierChain,
         swap: StandardSwap,
-        fragstore: FragmentStore,
-        gate: Optional[AdaptiveCompressionGate] = None,
-        cleaner: Optional[CleanerPolicy] = None,
         min_resident_frames: int = 2,
         prefetch_colocated: bool = True,
         max_prefetch_pages: int = 16,
@@ -110,14 +107,18 @@ class CompressedVM(BaseVM):
             address_space, frames, allocator, ledger, costs,
             min_resident_frames,
         )
-        self.ccache = ccache
-        self.sampler = sampler
+        self.chain = chain
+        self.tiers = chain.tiers
+        # The warmest tier's components keep their historical names: the
+        # eviction path compresses into this tier, its gate is the only
+        # one that can close, and single-tier tests address the cache as
+        # ``vm.ccache``.
+        warmest = chain.warmest
+        self.ccache = warmest.cache
+        self.gate = warmest.gate
+        self.cleaner = warmest.cleaner
         self.swap = swap
-        self.fragstore = fragstore
-        self.gate = gate if gate is not None else AdaptiveCompressionGate(
-            enabled=False
-        )
-        self.cleaner = cleaner if cleaner is not None else CleanerPolicy()
+        self.fragstore = chain.fragstore
         self.prefetch_colocated = prefetch_colocated
         self.max_prefetch_pages = max_prefetch_pages
         self.paranoid = paranoid
@@ -126,7 +127,24 @@ class CompressedVM(BaseVM):
         self.retry = retry
         self.degradation = degradation
         self._cleaner_check_pending = False
-        ccache.written_callback = self._note_written_to_store
+        # Only the terminal tier's write-outs reach the backing store;
+        # warmer tiers' "write-outs" are demotions and must not update
+        # per-page store versions.
+        chain.coldest.cache.written_callback = self._note_written_to_store
+
+    @property
+    def sampler(self):
+        """The warmest tier's sampler (the eviction-path compressor).
+
+        A property so tests that swap ``vm.sampler`` for an instrumented
+        or misbehaving compressor reach the tier the fault and eviction
+        paths actually use.
+        """
+        return self.chain.warmest.sampler
+
+    @sampler.setter
+    def sampler(self, value) -> None:
+        self.chain.warmest.sampler = value
 
     # ------------------------------------------------------------------
     # Fault path
@@ -137,17 +155,19 @@ class CompressedVM(BaseVM):
         page_size = self.address_space.page_size
         self._cleaner_check_pending = True
 
-        if page_id in self.ccache:
+        tier = self.chain.find(page_id)
+        if tier is not None:
             # A dirty entry's data moves to the uncompressed page; a clean
             # entry stays cached — "the compressed copy in memory can be
             # freed at any time, since there is already a copy on backing
             # store" — making a later unmodified eviction a free drop.
-            remove = self.ccache.is_dirty(page_id)
-            payload, _ = self.ccache.fetch(
+            cache = tier.cache
+            remove = cache.is_dirty(page_id)
+            payload, _ = cache.fetch(
                 page_id, remove=remove, now=self.ledger.now
             )
             frame = self._obtain_frame()
-            self._charge_decompress(pte, payload)
+            self._charge_decompress(pte, payload, tier)
             source = FaultSource.CCACHE
         elif self._valid_on_fragstore(pte):
             fetched = self._fetch_fragment(pte)
@@ -162,11 +182,13 @@ class CompressedVM(BaseVM):
                 self.ledger.charge(TimeCategory.IO_READ, seconds)
                 # Per Section 4.1 the page "is first brought into memory
                 # and stored in the compression cache, then it is
-                # decompressed".
+                # decompressed".  Store payloads were compressed by the
+                # coldest tier's kernel, so they readmit there.
+                coldest = self.chain.coldest
                 self.ledger.charge(
                     TimeCategory.COPY, self.costs.copy_seconds(len(payload))
                 )
-                self.ccache.insert(
+                coldest.cache.insert(
                     page_id,
                     payload,
                     dirty=False,
@@ -175,7 +197,7 @@ class CompressedVM(BaseVM):
                     content_version=pte.content.version,
                 )
                 frame = self._obtain_frame()
-                self._charge_decompress(pte, payload)
+                self._charge_decompress(pte, payload, coldest)
                 if self.prefetch_colocated:
                     self._prefetch(colocated)
                 source = FaultSource.FRAGSTORE
@@ -256,27 +278,38 @@ class CompressedVM(BaseVM):
             self.resilience.backstop_refetches += 1
         return self._obtain_frame()
 
-    def _charge_decompress(self, pte: PageTableEntry, payload: bytes) -> None:
-        """Charge decompression of a full page; verify when paranoid."""
+    def _charge_decompress(
+        self, pte: PageTableEntry, payload: bytes, tier: CompressedTier
+    ) -> None:
+        """Charge decompression of a full page with the tier's kernel;
+        verify when paranoid."""
         page_size = self.address_space.page_size
         self.ledger.charge(
-            TimeCategory.DECOMPRESS, self.costs.decompress_seconds(page_size)
+            TimeCategory.DECOMPRESS,
+            self.costs.decompress_seconds(page_size)
+            * tier.spec.compress_scale,
         )
         if self.paranoid:
             result = CompressionResult(payload, page_size)
-            restored = self.sampler.compressor.decompress(result)
+            restored = tier.sampler.compressor.decompress(result)
             if restored != pte.content.materialize():
                 raise AssertionError(
                     f"decompressed data mismatch for {pte.page_id}"
                 )
 
     def _prefetch(self, colocated) -> None:
-        """Admit compressed pages carried by the same block read."""
+        """Admit compressed pages carried by the same block read.
+
+        Store payloads carry the coldest tier's encoding, so prefetched
+        pages enter the coldest tier's cache.
+        """
         admitted = 0
+        chain = self.chain
+        coldest_cache = chain.coldest.cache
         for page_id in colocated:
             if admitted >= self.max_prefetch_pages:
                 break
-            if page_id in self.ccache:
+            if chain.holds(page_id):
                 continue
             pte = self.address_space.entry(page_id)
             if pte.state != PageState.BACKING_STORE:
@@ -294,7 +327,7 @@ class CompressedVM(BaseVM):
             self.ledger.charge(
                 TimeCategory.COPY, self.costs.copy_seconds(len(payload))
             )
-            self.ccache.insert(
+            coldest_cache.insert(
                 page_id,
                 payload,
                 dirty=False,
@@ -316,19 +349,27 @@ class CompressedVM(BaseVM):
         page_size = self.address_space.page_size
         self._cleaner_check_pending = True
 
-        # Fast drop: the cache still holds this exact version compressed.
-        if (
-            page_id in self.ccache
-            and self.ccache.entry_version(page_id) == pte.content.version
-        ):
+        # Fast drop: some tier still holds this exact version compressed.
+        # Stale copies are dropped wherever they sit; a colder *current*
+        # copy backing a warmer clean one is kept (it is what makes the
+        # warm copy clean).
+        version = pte.content.version
+        fast_tier = None
+        for tier in self.tiers:
+            cache = tier.cache
+            if page_id in cache:
+                if cache.entry_version(page_id) == version:
+                    if fast_tier is None:
+                        fast_tier = tier
+                else:
+                    cache.drop(page_id)  # stale compressed copy
+        if fast_tier is not None:
             self._release_resident_frame(pte, PageState.COMPRESSED)
             # The page was resident (hot) until this instant; it re-enters
             # the compressed LRU as its youngest member.
-            self.ccache.touch_entry(page_id, self.ledger.now)
+            fast_tier.cache.touch_entry(page_id, self.ledger.now)
             self.metrics.evictions.ccache_fast_drops += 1
             return
-        if page_id in self.ccache:
-            self.ccache.drop(page_id)  # stale compressed copy
 
         # Clean drop: a valid copy already sits on the backing store.
         if pte.saved_version == pte.content.version and (
@@ -345,7 +386,9 @@ class CompressedVM(BaseVM):
             content = pte.content
             data = content.materialize()
             self.ledger.charge(
-                TimeCategory.COMPRESS, self.costs.compress_seconds(page_size)
+                TimeCategory.COMPRESS,
+                self.costs.compress_seconds(page_size)
+                * self.chain.warmest.spec.compress_scale,
             )
             result = self._compress_for_eviction(content, data)
             if result is not None:
@@ -457,14 +500,16 @@ class CompressedVM(BaseVM):
         if not self._cleaner_check_pending:
             return
         self._cleaner_check_pending = False
-        goal = self.cleaner.pages_to_clean(
-            free_frames=self.frames.free_frames,
-            reclaimable_frames=self.ccache.reclaimable_frames(),
-            cache_frames=self.ccache.nframes,
-        )
-        if goal > 0:
-            self.metrics.cleaner_invocations += 1
-            self.ccache.clean_pages(goal)
+        for tier in self.tiers:
+            cache = tier.cache
+            goal = tier.cleaner.pages_to_clean(
+                free_frames=self.frames.free_frames,
+                reclaimable_frames=cache.reclaimable_frames(),
+                cache_frames=cache.nframes,
+            )
+            if goal > 0:
+                self.metrics.cleaner_invocations += 1
+                cache.clean_pages(goal)
         gc_seconds = self.fragstore.maybe_collect()
         if gc_seconds:
             self.ledger.charge(TimeCategory.GC, gc_seconds)
@@ -494,15 +539,22 @@ class CompressedVM(BaseVM):
         )
 
     def drain(self) -> None:
-        """Evict all resident pages and flush pending compressed writes."""
+        """Evict all resident pages and flush pending compressed writes.
+
+        Tiers drain warm to cold: a warm tier's clean pass demotes its
+        dirty pages into the next tier, whose own pass then pushes them
+        further, until the terminal tier's write-outs reach the store.
+        """
         super().drain()
-        # Under fault injection a clean pass can stall on a write error
-        # and re-queue the page; keep going while progress is possible.
-        # Without a plan this loop runs exactly once.
-        attempts = 0
-        while self.ccache.dirty_pages() and attempts < 1000:
-            self.ccache.clean_pages(self.ccache.dirty_pages())
-            attempts += 1
+        for tier in self.tiers:
+            cache = tier.cache
+            # Under fault injection a clean pass can stall on a write
+            # error and re-queue the page; keep going while progress is
+            # possible.  Without a plan this loop runs exactly once.
+            attempts = 0
+            while cache.dirty_pages() and attempts < 1000:
+                cache.clean_pages(cache.dirty_pages())
+                attempts += 1
         seconds = self._final_flush()
         if seconds:
             self.ledger.charge(TimeCategory.IO_WRITE, seconds)

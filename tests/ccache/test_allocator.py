@@ -7,6 +7,7 @@ import pytest
 from repro.ccache.allocator import (
     AllocationBiases,
     ThreeWayAllocator,
+    TieredAllocator,
 )
 from repro.mem.frames import FrameOwner, FramePool, OutOfFramesError
 
@@ -167,3 +168,61 @@ class TestBiases:
         assert biases.for_owner(FrameOwner.FILE_CACHE) == 30.0
         assert biases.for_owner(FrameOwner.VM) == 10.0
         assert biases.for_owner(FrameOwner.COMPRESSION) == 0.0
+
+
+class TestBiasValidation:
+    """Nonsense age terms fail at construction, not at victim time."""
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0, float("nan"),
+                                        float("inf")])
+    def test_bad_weights_rejected(self, weight):
+        with pytest.raises(ValueError, match="weight"):
+            AllocationBiases(vm_weight=weight)
+        with pytest.raises(ValueError, match="weight"):
+            AllocationBiases(file_cache_weight=weight)
+        with pytest.raises(ValueError, match="weight"):
+            AllocationBiases(ccache_weight=weight)
+
+    @pytest.mark.parametrize("bias", [-0.001, float("nan"), float("inf")])
+    def test_bad_biases_rejected(self, bias):
+        with pytest.raises(ValueError, match="bias"):
+            AllocationBiases(vm_bias_s=bias)
+
+    def test_error_names_the_offending_pool(self):
+        with pytest.raises(ValueError, match="file_cache"):
+            AllocationBiases(file_cache_weight=-2.0)
+
+    def test_zero_biases_valid(self):
+        AllocationBiases(0.0, 0.0, 0.0)  # pure weighted LRU is fine
+
+
+class TestRegisterPool:
+    """Extra pools (the N-tier path) join with explicit age terms."""
+
+    def test_explicit_terms_pool_competes(self):
+        frames = FramePool(4)
+        allocator = ThreeWayAllocator(frames)
+        vm = FakePool(frames, FrameOwner.VM, age=10.0)
+        l2 = FakePool(frames, FrameOwner.COMPRESSION, age=10.0)
+        allocator.register(FrameOwner.VM, vm)
+        # A huge weight makes the extra pool the preferred victim even
+        # against the VM pool's default weight of 6.
+        allocator.register_pool("cc:l2", l2, weight=100.0, bias_s=0.0)
+        vm.grab(2)
+        l2.grab(2)
+        allocator.obtain_frame(FrameOwner.VM)
+        assert l2.shrinks == 1 and vm.shrinks == 0
+        assert allocator.counters.snapshot()["cc:l2"] == 1
+
+    def test_explicit_terms_validated_at_registration(self):
+        allocator = ThreeWayAllocator(FramePool(2))
+        with pytest.raises(ValueError, match="weight"):
+            allocator.register_pool("cc:l2", None, weight=-1.0)
+        with pytest.raises(ValueError, match="bias"):
+            allocator.register_pool("cc:l2", None, weight=1.0,
+                                    bias_s=float("nan"))
+
+    def test_policyless_registration_needs_terms(self):
+        allocator = TieredAllocator(FramePool(2), policy=None)
+        with pytest.raises(ValueError, match="trading policy"):
+            allocator.register_pool("cc:l2", None)

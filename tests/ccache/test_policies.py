@@ -113,6 +113,34 @@ class TestAdaptiveGate:
         with pytest.raises(ValueError):
             AdaptiveCompressionGate(cooloff_pages=0)
 
+    def test_snapshot_counts_probes_bypasses_and_transitions(self):
+        gate = AdaptiveCompressionGate(window=4, min_keep_rate=0.5,
+                                       cooloff_pages=3)
+        for _ in range(4):
+            gate.record(False)  # closes
+        for _ in range(3):
+            gate.note_bypass()  # reopens at the third bypass
+        gate.record(True)
+        snap = gate.snapshot()
+        assert snap["enabled"] is True
+        assert snap["open"] is True
+        assert snap["probes"] == 5
+        assert snap["pages_bypassed"] == 3
+        assert snap["times_closed"] == 1
+        assert snap["times_reopened"] == 1
+        assert snap["window"] == 4
+        assert snap["min_keep_rate"] == 0.5
+        assert snap["cooloff_pages"] == 3
+
+    def test_disabled_snapshot_counts_probes(self):
+        gate = AdaptiveCompressionGate(enabled=False)
+        gate.record(False)
+        gate.record(True)
+        snap = gate.snapshot()
+        assert snap["enabled"] is False
+        assert snap["probes"] == 2
+        assert snap["times_closed"] == 0
+
 
 class TestHeaders:
     def test_paper_constants(self):

@@ -1,0 +1,136 @@
+"""Two-tier chains end to end: demotion, faulting, reporting, digests.
+
+The pinned digests play the same role as tests/sim/test_golden_digests.py
+for the default layout: they freeze the complete ``RunResult.as_dict()``
+of a two-tier run so later refactors of the chain machinery cannot
+silently change its simulation behaviour.  A mismatch means behaviour
+moved; fix the change, do not refresh the digest (unless the PR's point
+is a deliberate semantics change).
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.mem.page import mbytes
+from repro.sim.engine import SimulationEngine
+from repro.sim.machine import Machine, MachineConfig
+from repro.tiers.spec import TierSpec, parse_tier_specs
+from repro.workloads import Thrasher
+
+#: SHA-256 of canonical JSON of RunResult.as_dict() for two-tier runs of
+#: the bench_sim workloads (scale 0.12, memoized sampler), captured when
+#: the tier chain was introduced.
+GOLDEN_TWO_TIER = {
+    "thrasher":
+        "028f727c16540df8f999da898ee117b20bcaff4f102b0bba5f592e8f5d17177f",
+    "gold-warm":
+        "a8d976c53f52d67be3b807e8f5fa7dcbc0bf290fdb238d9f2d700d3795796e66",
+}
+
+
+def two_tier_machine(scale=0.08, paranoid=False, cycles=3):
+    memory = mbytes(6 * scale)
+    workload = Thrasher(int(memory * 2), cycles=cycles, write=True)
+    config = MachineConfig(
+        memory_bytes=memory,
+        tiers=parse_tier_specs("two-tier"),
+        paranoid=paranoid,
+    )
+    return Machine(config, workload.build()), workload
+
+
+class TestTwoTierEndToEnd:
+    def test_pages_demote_and_fault_back(self):
+        machine, workload = two_tier_machine()
+        result = SimulationEngine(machine).run(workload.references())
+        chain = machine.chain
+        assert len(chain.tiers) == 2
+        assert (chain.warmest.name, chain.coldest.name) == ("l1", "l2")
+        # The thrasher overcommits a capped L1: pages must demote to L2
+        # and the DEMOTE recompression time must be charged.
+        assert chain.demoted_pages() > 0
+        assert chain.warmest.sink.demoted_pages == chain.demoted_pages()
+        assert result.time_breakdown.get("demote", 0.0) > 0.0
+        assert machine.vm.metrics.faults.total > 0
+
+    def test_two_tier_contents_verify_paranoid(self):
+        """Every fault decompresses with the right tier's kernel.
+
+        Paranoid mode re-derives each faulted page from its compressed
+        payload and compares against ground truth, so a kernel mismatch
+        anywhere in the demote/fault paths (L1 payload decoded as LZSS,
+        store payload decoded as LZRW1, ...) fails loudly.
+        """
+        machine, workload = two_tier_machine(scale=0.05, paranoid=True,
+                                             cycles=2)
+        SimulationEngine(machine).run(workload.references())
+        assert machine.chain.demoted_pages() > 0
+
+    def test_terminal_tier_owns_store_writes(self):
+        """Only L2 write-outs update per-page saved versions; demotions
+        out of L1 stay in memory (no I/O, no version updates)."""
+        machine, workload = two_tier_machine()
+        SimulationEngine(machine).run(workload.references())
+        l1, l2 = machine.chain.tiers
+        assert l1.cache.written_callback is None
+        assert l2.cache.written_callback is not None
+
+    def test_colder_tier_competes_through_allocator(self):
+        machine, workload = two_tier_machine()
+        SimulationEngine(machine).run(workload.references())
+        victims = machine.allocator.counters.snapshot()
+        assert "cc:l2" in victims
+
+    def test_result_reports_tiers_and_gate(self):
+        machine, workload = two_tier_machine()
+        result = SimulationEngine(machine).run(workload.references())
+        payload = result.as_dict()
+        assert payload["gate"]["probes"] > 0
+        names = [tier["name"] for tier in payload["tiers"]]
+        assert names == ["l1", "l2", "store"]
+        l1 = payload["tiers"][0]
+        assert l1["compressor"] == "lzrw1"
+        assert l1["demoted_out"] == machine.chain.demoted_pages()
+
+    def test_default_config_reports_neither(self):
+        """The default layout's serialized form — and so the 14 golden
+        digests — must not grow new keys."""
+        memory = mbytes(6 * 0.08)
+        workload = Thrasher(int(memory * 2), cycles=2, write=True)
+        machine = Machine(
+            MachineConfig(memory_bytes=memory), workload.build()
+        )
+        result = SimulationEngine(machine).run(workload.references())
+        payload = result.as_dict()
+        assert "tiers" not in payload
+        assert "gate" not in payload
+
+    def test_config_rejects_bad_chains(self):
+        with pytest.raises(ValueError, match="unique"):
+            MachineConfig(tiers=(TierSpec(name="cc"), TierSpec(name="cc")))
+        with pytest.raises(ValueError, match="at least one"):
+            MachineConfig(tiers=())
+
+
+class TestTwoTierGoldenDigests:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_TWO_TIER))
+    def test_two_tier_digest_pinned(self, name):
+        from repro.cli import WORKLOAD_FACTORIES
+
+        workload = WORKLOAD_FACTORIES[name](0.12)
+        config = MachineConfig(
+            memory_bytes=mbytes(6 * 0.12),
+            tiers=parse_tier_specs("two-tier"),
+        )
+        machine = Machine(config, workload.build())
+        result = SimulationEngine(machine).run(workload.references())
+        blob = json.dumps(
+            result.as_dict(), sort_keys=True, separators=(",", ":")
+        ).encode()
+        digest = hashlib.sha256(blob).hexdigest()
+        assert digest == GOLDEN_TWO_TIER[name], (
+            f"{name}: two-tier simulation output diverged from the pinned "
+            "behaviour"
+        )
