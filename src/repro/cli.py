@@ -15,6 +15,9 @@ Usage::
                              [--profile [N]]
     compression-cache inspect [--scale 0.1]
     compression-cache trace-record --workload compare --out t.trace
+                             [--format binary] [--repeat N]
+    compression-cache trace-replay t.btrace --workload compare
+                             [--digest | --json] [--scalar] [--no-mmap]
     compression-cache trace-analyze t.trace [--frames 64,256]
 
 ``--scale 1.0`` reproduces the paper's configuration; the defaults trade
@@ -45,6 +48,7 @@ from .workloads import (
     CacheSimWorkload,
     CompareWorkload,
     GoldWorkload,
+    MultiProgramWorkload,
     SortWorkload,
     SyntheticWorkload,
     Thrasher,
@@ -69,7 +73,31 @@ WORKLOAD_FACTORIES = {
     "synthetic": lambda scale: SyntheticWorkload(
         mbytes(8 * scale), references=max(500, int(40000 * scale))
     ),
+    # Three CPU-bound programs timesharing one machine (Section 3's
+    # collective-address-space pressure); the canonical source for long
+    # streamed binary traces (trace-record --format binary --repeat N).
+    "multiprogram": lambda scale: MultiProgramWorkload(
+        [
+            CompareWorkload(mbytes(12 * scale), round_trips=2),
+            SortWorkload(mbytes(8 * scale), partial=True),
+            SyntheticWorkload(
+                mbytes(6 * scale), references=max(500, int(30000 * scale))
+            ),
+        ],
+        quantum=64,
+    ),
 }
+
+
+def _trace_is_binary(path: str) -> bool:
+    """Sniff the 4-byte magic; falls back to text on any read error."""
+    from .workloads import btrace
+
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(btrace.MAGIC)) == btrace.MAGIC
+    except OSError:
+        return False
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -277,19 +305,148 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
         print(f"unknown workload {args.workload!r}; known: {known}",
               file=sys.stderr)
         return 2
+    fmt = args.format
+    if fmt == "auto":
+        fmt = ("binary" if args.out.endswith((".bt", ".btrace"))
+               else "text")
+    if args.repeat > 1 and fmt != "binary":
+        print("trace-record: --repeat requires --format binary",
+              file=sys.stderr)
+        return 2
     workload = factory(args.scale)
     workload.build()
-    trace = Trace.record(workload.references(),
-                         max_events=args.max_events or None)
+    max_events = args.max_events or None
     try:
-        trace.dump(args.out)
+        if fmt == "binary":
+            count, pages, writes = _record_binary(
+                workload, args.out, max_events, args.repeat
+            )
+        else:
+            trace = Trace.record(workload.references(),
+                                 max_events=max_events)
+            trace.dump(args.out)
+            count = len(trace)
+            pages = trace.touched_pages()
+            writes = trace.write_fraction
     except OSError as exc:
         print(f"trace-record: cannot write {args.out!r}: {exc}",
               file=sys.stderr)
         return 2
-    print(f"recorded {len(trace)} references "
-          f"({trace.touched_pages()} pages, "
-          f"{trace.write_fraction:.0%} writes) to {args.out}")
+    print(f"recorded {count} references "
+          f"({pages} pages, {writes:.0%} writes, {fmt}) to {args.out}")
+    return 0
+
+
+def _record_binary(workload, out, max_events, repeat):
+    """Stream a workload's references to a binary trace file.
+
+    ``repeat > 1`` records the stream once as a packed block and writes
+    it ``repeat`` times — the cheap way to build 10M+ reference traces
+    for streaming-replay benchmarks without re-running the workload.
+    """
+    from .workloads import btrace
+
+    touched = set()
+    nwrites = 0
+    if repeat <= 1:
+        with btrace.BinaryTraceWriter(out) as writer:
+            for ref in workload.references():
+                if max_events is not None and writer.count >= max_events:
+                    break
+                writer.append(ref)
+                touched.add(ref.page_id)
+                nwrites += ref.write
+            count = writer.count
+        return count, len(touched), nwrites / count if count else 0.0
+    block = bytearray()
+    base = 0
+    for ref in workload.references():
+        if max_events is not None and base >= max_events:
+            break
+        block += btrace.pack_ref(ref)
+        base += 1
+        touched.add(ref.page_id)
+        nwrites += ref.write
+    block = bytes(block)
+    with btrace.BinaryTraceWriter(out) as writer:
+        for _ in range(repeat):
+            writer.append_raw(block, base)
+        count = writer.count
+    fraction = nwrites / base if base else 0.0
+    return count, len(touched), fraction
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    """Replay a recorded trace through a fresh machine.
+
+    The workload that recorded the trace must be named again (with the
+    same ``--scale``) so the address space and its page contents can be
+    rebuilt; the trace then drives the engine instead of the workload's
+    own reference generator.  Binary traces stream through the
+    mmap-backed chunk reader; text traces go through the classic
+    per-reference path.
+    """
+    import hashlib
+    import json
+    import resource
+
+    from .sim.trace import Trace, TraceFormatError
+    from .workloads import btrace
+
+    factory = WORKLOAD_FACTORIES.get(args.workload)
+    if factory is None:
+        known = ", ".join(sorted(WORKLOAD_FACTORIES))
+        print(f"unknown workload {args.workload!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    workload = factory(args.scale)
+    space = workload.build()
+    config = MachineConfig(
+        memory_bytes=mbytes(args.memory_mb * args.scale),
+        fast=False if args.scalar else None,
+    )
+    machine = Machine(config, space)
+    engine = SimulationEngine(machine)
+    max_references = args.max_events or None
+    try:
+        if _trace_is_binary(args.trace):
+            with btrace.BinaryTraceReader(
+                args.trace, use_mmap=not args.no_mmap
+            ) as reader:
+                total = len(reader)
+                result = engine.run_trace(
+                    reader, drain=args.drain,
+                    max_references=max_references,
+                )
+        else:
+            trace = Trace.load(args.trace)
+            total = len(trace)
+            result = engine.run(
+                iter(trace), drain=args.drain,
+                max_references=max_references,
+            )
+    except OSError as exc:
+        print(f"trace-replay: cannot read {args.trace!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(f"trace-replay: {args.trace!r} is not a valid trace: {exc}",
+              file=sys.stderr)
+        return 2
+    payload = result.as_dict()
+    if args.digest:
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        print(hashlib.sha256(canonical.encode()).hexdigest())
+        return 0
+    if args.json:
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    replayed = (min(total, max_references) if max_references is not None
+                else total)
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(f"replayed {replayed} references: {result.summary()}")
+    print(f"peak RSS {peak_kb / 1024:.1f} MB")
     return 0
 
 
@@ -297,9 +454,15 @@ def _cmd_trace_analyze(args: argparse.Namespace) -> int:
     """LRU miss-ratio analysis of a recorded trace."""
     from .model.locality import MissRatioCurve
     from .sim.trace import Trace, TraceFormatError
+    from .workloads import btrace
 
     try:
-        trace = Trace.load(args.trace)
+        if _trace_is_binary(args.trace):
+            with btrace.BinaryTraceReader(args.trace) as reader:
+                refs = list(reader)
+            trace = Trace(refs)
+        else:
+            trace = Trace.load(args.trace)
     except OSError as exc:
         print(f"trace-analyze: cannot read {args.trace!r}: {exc}",
               file=sys.stderr)
@@ -439,6 +602,36 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("--out", required=True)
     record.add_argument("--scale", type=float, default=0.05)
     record.add_argument("--max-events", type=int, default=0)
+    record.add_argument("--format", choices=("auto", "text", "binary"),
+                        default="auto",
+                        help="'auto' picks binary for .bt/.btrace "
+                             "extensions (see docs/traces.md)")
+    record.add_argument("--repeat", type=int, default=1,
+                        help="write the recorded stream N times "
+                             "(binary only; builds long replay traces)")
+
+    replay = sub.add_parser(
+        "trace-replay",
+        help="replay a recorded trace through a fresh machine",
+    )
+    replay.add_argument("trace")
+    replay.add_argument("--workload", required=True,
+                        help="workload that recorded the trace (rebuilds "
+                             "the address space; use the same --scale)")
+    replay.add_argument("--scale", type=float, default=0.05)
+    replay.add_argument("--memory-mb", type=float, default=6.0,
+                        help="user memory in MBytes before --scale")
+    replay.add_argument("--max-events", type=int, default=0)
+    replay.add_argument("--drain", action="store_true")
+    replay.add_argument("--scalar", action="store_true",
+                        help="force scalar compression kernels")
+    replay.add_argument("--no-mmap", action="store_true",
+                        help="read the whole binary trace into memory "
+                             "instead of memory-mapping it")
+    replay.add_argument("--digest", action="store_true",
+                        help="print only a sha256 of the full result")
+    replay.add_argument("--json", action="store_true",
+                        help="print the full result as JSON")
 
     analyze = sub.add_parser(
         "trace-analyze", help="LRU miss-ratio analysis of a trace"
@@ -459,6 +652,7 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "perf": _cmd_perf,
     "trace-record": _cmd_trace_record,
+    "trace-replay": _cmd_trace_replay,
     "trace-analyze": _cmd_trace_analyze,
 }
 

@@ -119,6 +119,18 @@ class Compressor(ABC):
         compress = self.compress
         return [compress(page) for page in pages]
 
+    def decompress_many(
+        self, results: Iterable[CompressionResult]
+    ) -> List[bytes]:
+        """Decompress a batch of results in one call.
+
+        The inverse of :meth:`compress_many`: one python call boundary
+        for a whole demotion group, with the method lookup amortized
+        across the batch.  Pure content work — safe to run speculatively.
+        """
+        decompress = self.decompress
+        return [decompress(result) for result in results]
+
     def compress_verified(self, data: bytes) -> CompressionResult:
         """Compress and immediately verify the round trip.
 

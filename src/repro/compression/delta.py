@@ -25,8 +25,9 @@ little-endian words).  A trailing partial word (pages not divisible by
 from __future__ import annotations
 
 import struct
-from typing import List
+from typing import List, Optional
 
+from . import vectorized
 from .base import CompressionResult, Compressor, CorruptDataError, register
 
 _TAG_RAW = 0
@@ -68,9 +69,26 @@ def _read_varint(data: bytes, pos: int) -> tuple:
 
 @register("varint-delta")
 class VarintDeltaCompressor(Compressor):
-    """Posting-list codec: ascending 32-bit runs become varint gaps."""
+    """Posting-list codec: ascending 32-bit runs become varint gaps.
+
+    Args:
+        fast: tri-state vectorization flag (see
+            :mod:`repro.compression.vectorized`); both paths produce
+            bit-identical payloads.
+    """
+
+    def __init__(self, fast: Optional[bool] = None):
+        self.fast = fast
+        self._use_fast = vectorized.enabled(fast)
+
+    def result_cache_key(self):
+        # No output-affecting parameters; the fast path is pinned
+        # bit-identical, so results may be shared process-wide.
+        return ("varint-delta",)
 
     def compress(self, data: bytes) -> CompressionResult:
+        if self._use_fast:
+            return vectorized.delta_compress(data)
         n = len(data)
         nwords = n // 4
         if nwords < _MIN_RUN:

@@ -53,13 +53,13 @@ and produces **bit-identical output**, enforced by
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from .base import CompressionResult, Compressor, CorruptDataError, register
 
-try:  # numpy is a hard dependency of the repo, but keep a scalar fallback
+try:  # numpy is the optional [fast] extra; the scalar fallback is complete
     import numpy as _np
-except ImportError:  # pragma: no cover - numpy ships with the project
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI job
     _np = None
 
 _MAX_OFFSET = 4095
@@ -79,13 +79,16 @@ _VECTOR_THRESHOLD = 256
 _BITS = [1 << k for k in range(_GROUP + 1)]
 
 
-def _make_hashes(data: bytes, n: int, mask: int) -> List[int]:
+def _make_hashes(
+    data: bytes, n: int, mask: int, use_numpy: bool = True
+) -> List[int]:
     """Hash of every 3-byte window of ``data``, as a plain list.
 
     Index ``i`` holds the hash of ``data[i:i+3]``; the list has ``n - 2``
-    entries.  Only called with ``n >= _MIN_MATCH``.
+    entries.  Only called with ``n >= _MIN_MATCH``.  Both branches are
+    pure functions of (data, mask) — ``use_numpy`` only selects speed.
     """
-    if _np is not None and n >= _VECTOR_THRESHOLD:
+    if use_numpy and _np is not None and n >= _VECTOR_THRESHOLD:
         d = _np.frombuffer(data, _np.uint8)
         k = d[:-2].astype(_np.uint32)
         k <<= 4
@@ -113,12 +116,18 @@ class Lzrw1(Compressor):
         table_bits: log2 of the hash-table entry count.  12 matches the
             16-KByte table of the measured system; smaller tables trade
             compression ratio for memory.
+        fast: tri-state flag for the numpy hash precompute.  ``None``
+            (auto, the historical behaviour) and ``True`` use numpy when
+            importable; ``False`` forces the scalar hash loop.  Output
+            is identical either way.
     """
 
-    def __init__(self, table_bits: int = 12):
+    def __init__(self, table_bits: int = 12, fast: Optional[bool] = None):
         if not 4 <= table_bits <= 20:
             raise ValueError(f"table_bits out of range: {table_bits}")
         self.table_bits = table_bits
+        self.fast = fast
+        self._use_numpy_hashes = fast is not False
         self._table_size = 1 << table_bits
         # Reused across compress() calls; see the module docstring.  A slot
         # holds a position, valid only when its stamp equals the current
@@ -150,7 +159,9 @@ class Lzrw1(Compressor):
         self._epoch = epoch = self._epoch + 1
         table = self._table
         stamp = self._stamp
-        hashes = _make_hashes(data, n, self._table_size - 1)
+        hashes = _make_hashes(
+            data, n, self._table_size - 1, self._use_numpy_hashes
+        )
         from_bytes = int.from_bytes
         bits = _BITS
 

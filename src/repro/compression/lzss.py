@@ -31,6 +31,8 @@ changes.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .base import CompressionResult, Compressor, CorruptDataError, register
 from .lzrw1 import _make_hashes
 
@@ -50,13 +52,23 @@ class Lzss(Compressor):
             hash bucket.  Higher values improve the ratio and slow the
             encoder; 16 is a good balance for 4-KByte pages.
         lazy: enable one-byte lazy match deferral.
+        fast: tri-state flag for the numpy hash precompute (as in
+            :class:`~repro.compression.lzrw1.Lzrw1`); ``False`` forces
+            the scalar hash loop.  Output is identical either way.
     """
 
-    def __init__(self, chain_depth: int = 16, lazy: bool = True):
+    def __init__(
+        self,
+        chain_depth: int = 16,
+        lazy: bool = True,
+        fast: Optional[bool] = None,
+    ):
         if chain_depth < 1:
             raise ValueError("chain_depth must be >= 1")
         self.chain_depth = chain_depth
         self.lazy = lazy
+        self.fast = fast
+        self._use_numpy_hashes = fast is not False
         # Reused across calls: 12-bit hash heads behind an epoch stamp
         # (never re-initialized) and a per-position chain buffer grown on
         # demand (entries are only read after being written in the same
@@ -127,7 +139,7 @@ class Lzss(Compressor):
         if len(self._chains) < n:
             self._chains = [0] * n
         chains = self._chains
-        hashes = _make_hashes(data, n, 0xFFF)
+        hashes = _make_hashes(data, n, 0xFFF, self._use_numpy_hashes)
         from_bytes = int.from_bytes
         lazy = self.lazy
         chain_depth = self.chain_depth

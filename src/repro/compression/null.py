@@ -8,12 +8,21 @@ machinery itself from the benefit of compression.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .base import CompressionResult, Compressor, register
 
 
 @register("null")
 class NullCompressor(Compressor):
-    """Pass-through "compressor": output equals input."""
+    """Pass-through "compressor": output equals input.
+
+    Accepts (and ignores) the ``fast`` flag so machine configuration can
+    pass it uniformly to every registered algorithm.
+    """
+
+    def __init__(self, fast: Optional[bool] = None):
+        self.fast = fast
 
     def compress(self, data: bytes) -> CompressionResult:
         return CompressionResult(bytes(data), len(data), stored_raw=True)

@@ -15,6 +15,9 @@ block header ``0x00..0x7F`` meaning "copy N+1 raw bytes", or a run header
 
 from __future__ import annotations
 
+from typing import Optional
+
+from . import vectorized
 from .base import CompressionResult, Compressor, CorruptDataError, register
 
 _MIN_RUN = 3
@@ -24,9 +27,29 @@ _MAX_LITERAL = 128
 
 @register("rle")
 class Rle(Compressor):
-    """Escape-coded run-length encoder."""
+    """Escape-coded run-length encoder.
+
+    Args:
+        fast: tri-state vectorization flag (see
+            :mod:`repro.compression.vectorized`): ``None`` auto-selects
+            the numpy fast path when available, ``True`` prefers it with
+            a scalar fallback, ``False`` forces the scalar loop.  Both
+            paths produce bit-identical payloads.
+    """
+
+    def __init__(self, fast: Optional[bool] = None):
+        self.fast = fast
+        self._use_fast = vectorized.enabled(fast)
+
+    def result_cache_key(self):
+        # Stateless and parameter-free: one canonical payload per page
+        # (the fast path is pinned bit-identical), so results are safe
+        # to share process-wide.
+        return ("rle",)
 
     def compress(self, data: bytes) -> CompressionResult:
+        if self._use_fast:
+            return vectorized.rle_compress(data)
         n = len(data)
         out = bytearray()
         literals = bytearray()

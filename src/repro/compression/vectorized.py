@@ -1,0 +1,297 @@
+"""Numpy-vectorized fast paths for the byte/word kernels.
+
+The scalar kernels in :mod:`repro.compression.rle`, :mod:`~.wk` and
+:mod:`~.delta` walk their input one byte or word at a time in the
+interpreter, which caps them around a few MB/s.  This module holds
+drop-in replacements that move the data-parallel part of each algorithm
+— run-boundary detection, word extraction, slot hashing, bit packing —
+into numpy, while keeping the *stored format bit-identical* to the
+scalar encoders.  That identity is load-bearing: the golden RunResult
+digests, the shared kernel-result cache, and every ratio the figures
+report assume one canonical payload per (algorithm, page).
+``tests/compression/test_vectorized.py`` diffs every payload against the
+scalar kernels across the full content corpus.
+
+numpy is an *optional* dependency (the ``repro[fast]`` extra).  When it
+is missing, :func:`enabled` reports ``False`` and every kernel falls
+back to its scalar loop — same output, just slower.  The per-kernel
+``fast=`` constructor flag selects the path explicitly:
+
+* ``None`` (default) — auto: vectorize when numpy is importable;
+* ``True`` — prefer the vectorized path, silently falling back to
+  scalar when numpy is absent (never an ImportError);
+* ``False`` — force the scalar loop (A/B benchmarking, debugging).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Sequence
+
+from .base import CompressionResult
+
+try:  # optional [fast] extra; every caller falls back to scalar loops
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI job
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+
+def enabled(flag: Optional[bool]) -> bool:
+    """Resolve a tri-state ``fast`` flag against numpy availability."""
+    if flag is False:
+        return False
+    return HAVE_NUMPY
+
+
+def capability() -> str:
+    """One-line report of the fast-kernel capability for perf output."""
+    if not HAVE_NUMPY:
+        return (
+            "fast kernels: unavailable (numpy not installed; "
+            "install repro[fast]) — scalar fallback active"
+        )
+    return (
+        f"fast kernels: numpy {_np.__version__} "
+        "(rle/wk/varint-delta vectorized, lzrw1 hash precompute)"
+    )
+
+
+# --------------------------------------------------------------------------
+# RLE — vectorized run-boundary detection (see rle.py for the format).
+
+_RLE_MIN_RUN = 3
+_RLE_MAX_RUN = 130
+_RLE_MAX_LITERAL = 128
+
+
+def _emit_literals(out: bytearray, data: bytes, start: int, end: int) -> None:
+    """Emit the literal span ``data[start:end]`` in <=128-byte blocks."""
+    for off in range(start, end, _RLE_MAX_LITERAL):
+        stop = off + _RLE_MAX_LITERAL
+        if stop > end:
+            stop = end
+        out.append(stop - off - 1)
+        out += data[off:stop]
+
+
+def rle_compress(data: bytes) -> CompressionResult:
+    """Bit-identical fast path for :meth:`repro.compression.rle.Rle.compress`.
+
+    Maximal equal-byte runs are located in one numpy pass (boundary =
+    adjacent inequality); only runs of length >= 3 are then visited in
+    python, chunked at 130 exactly like the scalar scan, with any <3
+    leftover rejoining the following literal span — the byte sequence the
+    scalar encoder's greedy loop produces.
+    """
+    n = len(data)
+    out = bytearray()
+    if n:
+        arr = _np.frombuffer(data, _np.uint8)
+        change = _np.flatnonzero(arr[1:] != arr[:-1])
+        starts = _np.concatenate(([0], change + 1))
+        lengths = _np.concatenate((change + 1, [n])) - starts
+        long_mask = lengths >= _RLE_MIN_RUN
+        lit_start = 0
+        for pos, length in zip(
+            starts[long_mask].tolist(), lengths[long_mask].tolist()
+        ):
+            _emit_literals(out, data, lit_start, pos)
+            byte = data[pos]
+            remaining = length
+            while remaining >= _RLE_MIN_RUN:
+                take = remaining if remaining <= _RLE_MAX_RUN else _RLE_MAX_RUN
+                out.append(0x7D + take)
+                out.append(byte)
+                pos += take
+                remaining -= take
+            lit_start = pos  # a 1-2 byte leftover joins the next literals
+        _emit_literals(out, data, lit_start, n)
+    if len(out) >= n:
+        return CompressionResult(bytes(data), n, stored_raw=True)
+    return CompressionResult(bytes(out), n)
+
+
+# --------------------------------------------------------------------------
+# WK — vectorized word extraction, slot hashing and stream packing.
+
+_WK_DICT_SIZE = 16
+_WK_LOW_BITS = 10
+_WK_LOW_MASK = (1 << _WK_LOW_BITS) - 1
+
+
+def _pack_bits(values: Sequence[int], width: int) -> bytes:
+    """LSB-first fixed-width packing, identical to ``wk._BitWriter``."""
+    if not values:
+        return b""
+    v = _np.asarray(values, _np.uint16)
+    bits = (v[:, None] >> _np.arange(width, dtype=_np.uint16)) & 1
+    return _np.packbits(
+        bits.astype(_np.uint8).reshape(-1), bitorder="little"
+    ).tobytes()
+
+
+def wk_compress(data: bytes) -> CompressionResult:
+    """Bit-identical fast path for ``WkCompressor.compress``.
+
+    The direct-mapped dictionary walk is inherently sequential, but
+    everything around it vectorizes: word extraction, the
+    multiplicative slot hash (computed in uint64 so the 54-bit product
+    matches python's arbitrary-precision arithmetic), the 2-bit tag /
+    4-bit index / 10-bit low-bits stream packing, and an all-zero-page
+    short circuit for the most common page in the corpus.
+    """
+    n = len(data)
+    nwords = n // 4
+    if nwords == 0:
+        return CompressionResult(bytes(data), n, stored_raw=True)
+    words_arr = _np.frombuffer(data, "<u4", count=nwords)
+    tail = data[nwords * 4 :]
+
+    if not words_arr.any():
+        tag_bytes = bytes((2 * nwords + 7) // 8)
+        out = (
+            struct.pack("<IHHH", nwords, len(tag_bytes), 0, 0)
+            + tag_bytes
+            + tail
+        )
+        if len(out) >= n:
+            return CompressionResult(bytes(data), n, stored_raw=True)
+        return CompressionResult(out, n)
+
+    slots_arr = (
+        ((words_arr.astype(_np.uint64) >> _WK_LOW_BITS) * 0x9E3779B1) >> 22
+    ) & (_WK_DICT_SIZE - 1)
+
+    dictionary = [0] * _WK_DICT_SIZE
+    tags: List[int] = []
+    indices: List[int] = []
+    lows: List[int] = []
+    misses = bytearray()
+    tag_append = tags.append
+    index_append = indices.append
+    low_append = lows.append
+    for word, slot in zip(words_arr.tolist(), slots_arr.tolist()):
+        if word == 0:
+            tag_append(0)
+            continue
+        entry = dictionary[slot]
+        if entry == word:
+            tag_append(1)
+            index_append(slot)
+        elif (entry >> _WK_LOW_BITS) == (word >> _WK_LOW_BITS):
+            tag_append(2)
+            index_append(slot)
+            low_append(word & _WK_LOW_MASK)
+            dictionary[slot] = word
+        else:
+            tag_append(3)
+            misses += word.to_bytes(4, "little")
+            dictionary[slot] = word
+
+    tag_bytes = _pack_bits(tags, 2)
+    index_bytes = _pack_bits(indices, 4)
+    low_bytes = _pack_bits(lows, _WK_LOW_BITS)
+    out = (
+        struct.pack(
+            "<IHHH", nwords, len(tag_bytes), len(index_bytes), len(low_bytes)
+        )
+        + tag_bytes
+        + index_bytes
+        + low_bytes
+        + bytes(misses)
+        + tail
+    )
+    if len(out) >= n:
+        return CompressionResult(bytes(data), n, stored_raw=True)
+    return CompressionResult(out, n)
+
+
+# --------------------------------------------------------------------------
+# varint-delta — vectorized ascending-segment detection and gap coding.
+
+_DELTA_TAG_RAW = 0
+_DELTA_TAG_ASCENDING = 1
+_DELTA_TAG_TAIL = 2
+_DELTA_MIN_RUN = 4
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def delta_compress(data: bytes) -> CompressionResult:
+    """Bit-identical fast path for ``VarintDeltaCompressor.compress``.
+
+    The scalar greedy scan emits one ascending chunk per maximal
+    non-descending word segment of length >= 4, and folds every other
+    word into pending raw chunks — so the segment decomposition can be
+    computed wholesale from ``words[1:] < words[:-1]``.  Raw regions are
+    sliced straight out of the input (the words are already raw
+    little-endian), and all-small gap vectors are emitted in one numpy
+    cast instead of per-gap varint calls.
+    """
+    n = len(data)
+    nwords = n // 4
+    if nwords < _DELTA_MIN_RUN:
+        return CompressionResult(bytes(data), n, stored_raw=True)
+    words = _np.frombuffer(data, "<u4", count=nwords)
+    tail = data[nwords * 4 :]
+
+    signed = words.astype(_np.int64)
+    gaps_all = _np.diff(signed)  # gap word i -> i+1 lives at index i
+    descents = _np.flatnonzero(gaps_all < 0)
+    seg_starts = _np.concatenate(([0], descents + 1))
+    seg_ends = _np.concatenate((descents + 1, [nwords]))
+    long_mask = seg_ends - seg_starts >= _DELTA_MIN_RUN
+    long_starts = seg_starts[long_mask]
+    first_words = words[long_starts].tolist()
+
+    out = bytearray()
+    out_append = out.append
+    raw_start = 0
+    for start, end, first in zip(
+        long_starts.tolist(), seg_ends[long_mask].tolist(), first_words
+    ):
+        if raw_start != start:
+            out_append(_DELTA_TAG_RAW)
+            _write_varint(out, start - raw_start)
+            out += data[raw_start * 4 : start * 4]
+        out_append(_DELTA_TAG_ASCENDING)
+        _write_varint(out, end - start)
+        _write_varint(out, first)
+        gaps = gaps_all[start : end - 1]
+        if end - start <= 32:
+            # Tiny segments (index pages produce hundreds): per-element
+            # numpy reductions cost more than a plain loop.
+            for gap in gaps.tolist():
+                if gap < 0x80:
+                    out_append(gap)
+                else:
+                    _write_varint(out, gap)
+        elif int(gaps.max()) < 0x80:
+            out += gaps.astype(_np.uint8).tobytes()
+        else:
+            for gap in gaps.tolist():
+                _write_varint(out, gap)
+        raw_start = end
+    if raw_start != nwords:
+        out.append(_DELTA_TAG_RAW)
+        _write_varint(out, nwords - raw_start)
+        out += data[raw_start * 4 : nwords * 4]
+    if tail:
+        out.append(_DELTA_TAG_TAIL)
+        _write_varint(out, len(tail))
+        out += tail
+
+    if len(out) >= n:
+        return CompressionResult(bytes(data), n, stored_raw=True)
+    return CompressionResult(bytes(out), n)

@@ -25,7 +25,9 @@ design.  Trailing bytes that do not fill a word are stored verbatim.
 from __future__ import annotations
 
 import struct
+from typing import Optional
 
+from . import vectorized
 from .base import CompressionResult, Compressor, CorruptDataError, register
 
 _DICT_SIZE = 16
@@ -90,9 +92,26 @@ class _BitReader:
 
 @register("wk")
 class WkCompressor(Compressor):
-    """Word-oriented compressor in the WK4x4/WKdm family."""
+    """Word-oriented compressor in the WK4x4/WKdm family.
+
+    Args:
+        fast: tri-state vectorization flag (see
+            :mod:`repro.compression.vectorized`); both paths produce
+            bit-identical payloads.
+    """
+
+    def __init__(self, fast: Optional[bool] = None):
+        self.fast = fast
+        self._use_fast = vectorized.enabled(fast)
+
+    def result_cache_key(self):
+        # No output-affecting parameters; the fast path is pinned
+        # bit-identical, so results may be shared process-wide.
+        return ("wk",)
 
     def compress(self, data: bytes) -> CompressionResult:
+        if self._use_fast:
+            return vectorized.wk_compress(data)
         n = len(data)
         nwords, tail_len = divmod(n, 4)
         if nwords == 0:

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .compression import create
+from .compression import vectorized
 from .compression._seed_reference import SeedLzrw1, SeedLzss
 from .mem.page import DEFAULT_PAGE_SIZE, mbytes
 from .sim.engine import SimulationEngine
@@ -146,6 +147,63 @@ def bench_compression(pages_per_kind: int = 16, reps: int = 5,
     return result
 
 
+#: Kernels with a numpy-vectorized variant (see compression/vectorized.py);
+#: lzrw1/lzss vectorize only their hash precompute stage.
+FAST_KERNELS = ("rle", "wk", "varint-delta", "lzrw1", "lzss")
+
+
+def bench_fast_kernels(pages_per_kind: int = 16, reps: int = 5,
+                       page_size: int = DEFAULT_PAGE_SIZE
+                       ) -> Optional[Dict]:
+    """Scalar vs vectorized throughput for the ``fast=``-capable kernels.
+
+    Both variants of each kernel are pinned bit-identical by the test
+    suite, so this measures the same work done two ways; the ratio is
+    machine-independent for the same reason the seed/new ratio is.
+    Returns ``None`` when numpy is unavailable (nothing to compare).
+    """
+    if not vectorized.HAVE_NUMPY:
+        return None
+    kinds = _corpus_kinds(pages_per_kind, page_size)
+    variants = {
+        name: (create(name), create(name, fast=False))
+        for name in FAST_KERNELS
+    }
+    result: Dict = {
+        "page_size": page_size,
+        "pages_per_kind": pages_per_kind,
+        "reps": reps,
+        "kinds": {},
+        "aggregate": {},
+    }
+    totals = {name: {"fast": 0.0, "scalar": 0.0} for name in variants}
+    total_bytes = 0
+    for kind, pages in kinds.items():
+        nbytes = sum(len(p) for p in pages)
+        total_bytes += nbytes
+        row: Dict = {}
+        for name, (fast, scalar) in variants.items():
+            t_fast = _time_batch(fast.compress, pages, reps)
+            t_scalar = _time_batch(scalar.compress, pages, reps)
+            totals[name]["fast"] += t_fast
+            totals[name]["scalar"] += t_scalar
+            row[name] = {
+                "fast_mb_s": round(nbytes / t_fast / 1e6, 3),
+                "scalar_mb_s": round(nbytes / t_scalar / 1e6, 3),
+                "speedup": round(t_scalar / t_fast, 3),
+            }
+        result["kinds"][kind] = row
+    for name in variants:
+        t_fast = totals[name]["fast"]
+        t_scalar = totals[name]["scalar"]
+        result["aggregate"][name] = {
+            "fast_mb_s": round(total_bytes / t_fast / 1e6, 3),
+            "scalar_mb_s": round(total_bytes / t_scalar / 1e6, 3),
+            "speedup": round(t_scalar / t_fast, 3),
+        }
+    return result
+
+
 def bench_micro(reps: int = 5) -> Dict:
     """Ops/s micro-benchmarks for the simulator's hot data structures.
 
@@ -230,7 +288,8 @@ def bench_micro(reps: int = 5) -> Dict:
 
 def bench_sim(scale: float = 0.12,
               workloads: Optional[Sequence[str]] = None,
-              reps: int = 3) -> Dict:
+              reps: int = 3,
+              fast: Optional[bool] = None) -> Dict:
     """End-to-end reference-stream throughput per named workload.
 
     Each workload runs ``reps`` times, each on a freshly built machine,
@@ -243,15 +302,21 @@ def bench_sim(scale: float = 0.12,
     """
     from .cli import WORKLOAD_FACTORIES  # late import: cli imports us
 
+    mode = "scalar" if fast is False else (
+        "fast" if vectorized.HAVE_NUMPY else "scalar"
+    )
     names = list(workloads) if workloads else sorted(WORKLOAD_FACTORIES)
-    result: Dict = {"scale": scale, "reps": reps, "workloads": {}}
+    result: Dict = {"scale": scale, "reps": reps, "mode": mode,
+                    "workloads": {}}
+    total_refs = 0
+    total_wall = 0.0
     for name in names:
         factory = WORKLOAD_FACTORIES[name]
         best_wall = None
         for _ in range(max(1, reps)):
             workload = factory(scale)
             machine = Machine(
-                MachineConfig(memory_bytes=mbytes(6 * scale)),
+                MachineConfig(memory_bytes=mbytes(6 * scale), fast=fast),
                 workload.build(),
             )
             refs = list(workload.references())
@@ -261,6 +326,8 @@ def bench_sim(scale: float = 0.12,
             wall = _perf_counter() - t0
             if best_wall is None or wall < best_wall:
                 best_wall = wall
+        total_refs += len(refs)
+        total_wall += best_wall
         result["workloads"][name] = {
             "references": len(refs),
             "wall_seconds": round(best_wall, 4),
@@ -268,7 +335,82 @@ def bench_sim(scale: float = 0.12,
             "sampler_hit_rate": round(run.sampler_hit_rate, 4),
             "simulated_seconds": round(run.elapsed_seconds, 3),
         }
+    # Sum of per-workload best walls: the noise-robust aggregate (each
+    # term is its workload's minimum), the single refs/s figure the
+    # baseline tracks across optimization PRs.
+    result["aggregate"] = {
+        "references": total_refs,
+        "wall_seconds": round(total_wall, 4),
+        "pages_per_second": round(total_refs / total_wall, 1)
+        if total_wall else 0.0,
+    }
     return result
+
+
+def bench_stream_replay(references: int = 10_000_000,
+                        scale: float = 0.05) -> Dict:
+    """Replay a long binary multiprogram trace in a fresh subprocess.
+
+    Records the multiprogram workload once, repeats the packed block to
+    reach ``references`` events, then replays it through ``trace-replay``
+    (mmap streaming reader + engine batch dispatch) in a child process —
+    a child so its ``ru_maxrss`` measures the replay alone.  The point of
+    the peak-RSS figure: it stays near the mapped trace size instead of
+    the gigabytes that 10M+ per-reference python objects would cost.
+    """
+    import os
+    import re
+    import subprocess
+    import sys
+    import tempfile
+
+    from .cli import WORKLOAD_FACTORIES
+    from .workloads import btrace
+
+    workload = WORKLOAD_FACTORIES["multiprogram"](scale)
+    workload.build()
+    block = bytearray()
+    base = 0
+    for ref in workload.references():
+        block += btrace.pack_ref(ref)
+        base += 1
+    repeat = max(1, -(-references // base))
+    with tempfile.TemporaryDirectory(prefix="repro-btrace-") as tmp:
+        path = os.path.join(tmp, "multiprogram.btrace")
+        with btrace.BinaryTraceWriter(path) as writer:
+            raw = bytes(block)
+            for _ in range(repeat):
+                writer.append_raw(raw, base)
+            total = writer.count
+        trace_bytes = os.path.getsize(path)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in sys.path if p
+        )
+        t0 = _perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "trace-replay", path,
+             "--workload", "multiprogram", "--scale", str(scale)],
+            capture_output=True, text=True, env=env,
+        )
+        wall = _perf_counter() - t0
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"trace-replay subprocess failed "
+            f"(exit {proc.returncode}): {proc.stderr.strip()}"
+        )
+    match = re.search(r"peak RSS ([0-9.]+) MB", proc.stdout)
+    peak_mb = float(match.group(1)) if match else None
+    return {
+        "workload": "multiprogram",
+        "scale": scale,
+        "references": total,
+        "repeat": repeat,
+        "trace_bytes": trace_bytes,
+        "wall_seconds": round(wall, 2),
+        "references_per_second": round(total / wall, 1),
+        "peak_rss_mb": peak_mb,
+    }
 
 
 def bench_fault_overhead(
@@ -445,8 +587,36 @@ def profile_sim(scale: float = 0.12, top_n: int = 25,
     return "\n".join(lines) + "\n"
 
 
+def _check_sim_floors(sim: Dict, floors: Dict, aggregate_floor,
+                      label: str, failures: List[str]) -> None:
+    """Apply per-workload and aggregate pages/s floors to one sim run."""
+    for name, expected in floors.items():
+        row = sim["workloads"].get(name)
+        if row is None:
+            failures.append(f"{name}: in baseline but not measured{label}")
+            continue
+        got = row["pages_per_second"]
+        floor = expected * (1.0 - SIM_CHECK_TOLERANCE)
+        if got < floor:
+            failures.append(
+                f"{name}: {got:.0f} pages/s{label} regressed more than "
+                f"{SIM_CHECK_TOLERANCE:.0%} below the committed "
+                f"baseline {expected:.0f} pages/s (floor {floor:.0f})"
+            )
+    aggregate = (sim.get("aggregate") or {}).get("pages_per_second")
+    if aggregate_floor and aggregate is not None:
+        floor = aggregate_floor * (1.0 - SIM_CHECK_TOLERANCE)
+        if aggregate < floor:
+            failures.append(
+                f"aggregate: {aggregate:.0f} refs/s{label} is more than "
+                f"{SIM_CHECK_TOLERANCE:.0%} below the committed "
+                f"{aggregate_floor:.0f} refs/s (floor {floor:.0f})"
+            )
+
+
 def check_against_baseline(compression: Dict, baseline_path: Path,
-                           sim: Optional[Dict] = None) -> List[str]:
+                           sim: Optional[Dict] = None,
+                           sim_scalar: Optional[Dict] = None) -> List[str]:
     """Compare measurements against the committed baseline.
 
     Returns a list of failure messages (empty when everything passes).
@@ -463,7 +633,7 @@ def check_against_baseline(compression: Dict, baseline_path: Path,
       (``--skip-sim``) or the baseline predates the sim floors.
     """
     baseline = json.loads(baseline_path.read_text())
-    failures = []
+    failures: List[str] = []
     for name, expected in baseline["aggregate_speedup"].items():
         got = compression["aggregate"][name]["speedup"]
         floor = expected * CHECK_TOLERANCE
@@ -473,26 +643,47 @@ def check_against_baseline(compression: Dict, baseline_path: Path,
                 f"{floor:.2f}x ({CHECK_TOLERANCE:.0%} of the committed "
                 f"baseline {expected:.2f}x)"
             )
-    sim_baseline = baseline.get("sim_pages_per_second")
-    if sim is not None and sim_baseline:
-        expected_scale = baseline.get("sim_scale")
-        if expected_scale is not None and sim.get("scale") != expected_scale:
-            # Throughput varies with workload scale; floors only make
-            # sense at the scale they were recorded at.
-            return failures
-        for name, expected in sim_baseline.items():
-            row = sim["workloads"].get(name)
+    fast_baseline = baseline.get("fast_kernel_speedup")
+    fast_measured = compression.get("fast")
+    if fast_baseline and fast_measured is not None:
+        for name, expected in fast_baseline.items():
+            row = fast_measured["aggregate"].get(name)
             if row is None:
-                failures.append(f"{name}: in baseline but not measured")
-                continue
-            got = row["pages_per_second"]
-            floor = expected * (1.0 - SIM_CHECK_TOLERANCE)
-            if got < floor:
                 failures.append(
-                    f"{name}: {got:.0f} pages/s regressed more than "
-                    f"{SIM_CHECK_TOLERANCE:.0%} below the committed "
-                    f"baseline {expected:.0f} pages/s (floor {floor:.0f})"
+                    f"{name}: in fast-kernel baseline but not measured"
                 )
+                continue
+            floor = expected * CHECK_TOLERANCE
+            if row["speedup"] < floor:
+                failures.append(
+                    f"{name}: vectorized/scalar speedup "
+                    f"{row['speedup']:.2f}x is below {floor:.2f}x "
+                    f"({CHECK_TOLERANCE:.0%} of the committed baseline "
+                    f"{expected:.2f}x)"
+                )
+    expected_scale = baseline.get("sim_scale")
+
+    def scale_matches(run: Optional[Dict]) -> bool:
+        # Throughput varies with workload scale; floors only make sense
+        # at the scale they were recorded at.
+        return (run is not None
+                and (expected_scale is None
+                     or run.get("scale") == expected_scale))
+
+    if scale_matches(sim) and baseline.get("sim_pages_per_second"):
+        _check_sim_floors(
+            sim, baseline["sim_pages_per_second"],
+            baseline.get("sim_aggregate_pages_per_second"),
+            "", failures,
+        )
+    if scale_matches(sim_scalar) and baseline.get(
+        "sim_pages_per_second_scalar"
+    ):
+        _check_sim_floors(
+            sim_scalar, baseline["sim_pages_per_second_scalar"],
+            baseline.get("sim_aggregate_pages_per_second_scalar"),
+            " (scalar)", failures,
+        )
     return failures
 
 
@@ -508,6 +699,7 @@ def run_harness(
     if not out_dir.is_dir():
         echo(f"error: output directory not found: {out_dir}")
         return 2
+    echo(vectorized.capability())
     pages_per_kind, reps = (6, 3) if quick else (16, 5)
     echo(f"compression kernels: {pages_per_kind} pages/kind, "
          f"best of {reps} reps ...")
@@ -517,6 +709,14 @@ def run_harness(
              f"(seed {agg['seed_mb_s']:.2f} MB/s, "
              f"{agg['speedup']:.2f}x; per-kind mean "
              f"{agg['mean_kind_speedup']:.2f}x)")
+    compression["kernels"] = vectorized.capability()
+    compression["fast"] = bench_fast_kernels(pages_per_kind, reps)
+    if compression["fast"] is not None:
+        echo("vectorized kernels (fast vs scalar, same process) ...")
+        for name, agg in compression["fast"]["aggregate"].items():
+            echo(f"  {name}: {agg['fast_mb_s']:.2f} MB/s "
+                 f"(scalar {agg['scalar_mb_s']:.2f} MB/s, "
+                 f"{agg['speedup']:.2f}x)")
     echo("hot-structure micro-benchmarks ...")
     micro = bench_micro(reps=3 if quick else 5)
     compression["micro"] = micro
@@ -529,6 +729,7 @@ def run_harness(
 
     scale = 0.05 if quick else 0.12
     sim = None
+    sim_scalar = None
     if not skip_sim:
         echo(f"simulation throughput at scale {scale}, best of 3 reps ...")
         sim = bench_sim(scale=scale)
@@ -536,6 +737,36 @@ def run_harness(
             echo(f"  {name}: {row['pages_per_second']:.0f} pages/s "
                  f"({row['references']} refs, "
                  f"sampler memo {row['sampler_hit_rate']:.0%})")
+        echo(f"  aggregate ({sim['mode']}): "
+             f"{sim['aggregate']['pages_per_second']:,.0f} refs/s over "
+             f"{sim['aggregate']['references']} references")
+        if sim["mode"] == "fast":
+            echo("simulation throughput, scalar kernels (fast=False) ...")
+            sim_scalar = bench_sim(scale=scale, fast=False)
+            echo(f"  aggregate (scalar): "
+                 f"{sim_scalar['aggregate']['pages_per_second']:,.0f} "
+                 f"refs/s")
+            sim["scalar"] = sim_scalar
+        else:
+            # No numpy: the primary run already used scalar kernels, so
+            # the scalar floors apply to it directly.
+            sim_scalar = sim
+        echo("streamed binary-trace replay (mmap reader, child process "
+             "RSS) ...")
+        replay_refs = 200_000 if quick else 10_000_000
+        try:
+            replay = bench_stream_replay(references=replay_refs)
+        except RuntimeError as exc:
+            echo(f"  stream replay failed: {exc}")
+            replay = None
+        if replay is not None:
+            sim["stream_replay"] = replay
+            rss = ("unknown" if replay["peak_rss_mb"] is None
+                   else f"{replay['peak_rss_mb']:.0f} MB")
+            echo(f"  {replay['references']:,} refs "
+                 f"({replay['trace_bytes'] / 1e6:.0f} MB trace): "
+                 f"{replay['references_per_second']:,.0f} refs/s, "
+                 f"peak RSS {rss}")
         echo("fault-layer overhead (disabled vs committed floors, "
              "plus inert-plan A/B) ...")
         baseline_path = check if check is not None else Path(
@@ -575,7 +806,8 @@ def run_harness(
         if not check.is_file():
             echo(f"error: baseline file not found: {check}")
             return 2
-        failures = check_against_baseline(compression, check, sim=sim)
+        failures = check_against_baseline(compression, check, sim=sim,
+                                          sim_scalar=sim_scalar)
         if failures:
             for failure in failures:
                 echo(f"REGRESSION: {failure}")

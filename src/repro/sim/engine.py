@@ -197,6 +197,66 @@ class SimulationEngine:
             vm.drain()
         return self._collect(start)
 
+    def run_trace(
+        self,
+        reader,
+        drain: bool = False,
+        max_references: Optional[int] = None,
+        observer: Optional[Callable[["Machine", int], None]] = None,
+        observe_every: int = 256,
+        chunk_size: int = 65536,
+    ) -> RunResult:
+        """Replay a binary trace through its column-chunk interface.
+
+        ``reader`` is anything with a ``chunks(chunk_size)`` method
+        yielding ``(writes, segments, numbers, ticks_us)`` parallel
+        lists (see :class:`repro.workloads.btrace.BinaryTraceReader`).
+        Observably identical to :meth:`run` over the equivalent
+        :class:`PageRef` stream — write events get the default one-word
+        mutation, ticks charge BASE time — but no per-reference python
+        object is ever built: page ids are interned per (segment,
+        number) pair and the inner loop walks four flat int lists.
+        """
+        if observe_every < 1:
+            raise ValueError(f"observe_every must be >= 1: {observe_every}")
+        machine = self.machine
+        vm = machine.vm
+        ledger = machine.ledger
+        start = ledger.now
+        touch = vm.touch
+        entry = machine.address_space.entry
+        charge = ledger.charge
+        default_mutation = self._default_mutation
+        base = TimeCategory.BASE
+        interned: Dict[tuple, PageId] = {}
+        remaining = max_references
+        seen = 0
+        for writes, segments, numbers, ticks in reader.chunks(chunk_size):
+            if remaining is not None and remaining < len(writes):
+                writes = writes[:remaining]
+            for write, segment, number, tick in zip(
+                writes, segments, numbers, ticks
+            ):
+                seen += 1
+                key = (segment, number)
+                page_id = interned.get(key)
+                if page_id is None:
+                    page_id = interned[key] = PageId(segment, number)
+                touch(page_id, bool(write))
+                if observer is not None and seen % observe_every == 0:
+                    observer(machine, seen)
+                if write:
+                    default_mutation(entry(page_id).content)
+                if tick:
+                    charge(base, tick / 1e6)
+            if remaining is not None:
+                remaining -= len(writes)
+                if remaining <= 0:
+                    break
+        if drain:
+            vm.drain()
+        return self._collect(start)
+
     def _default_mutation(self, content: PageContent) -> None:
         """A write touch with no explicit mutation stores one word."""
         self._write_counter += 1

@@ -72,6 +72,12 @@ class MachineConfig:
     #: False builds the "unmodified system" baseline.
     compression_cache: bool = True
     compressor: str = "lzrw1"
+    #: Tri-state vectorization flag forwarded to every compressor the
+    #: machine builds (see :mod:`repro.compression.vectorized`).  ``None``
+    #: auto-selects the numpy fast paths when the ``[fast]`` extra is
+    #: installed; ``False`` forces the scalar kernels.  Simulation output
+    #: is bit-identical either way — the flag only moves wall-clock.
+    fast: Optional[bool] = None
     device: str = "rz57"
     #: "ufs" = update-in-place whole-block FS (Sprite's, with the
     #: Section 4.3 read-modify-write behaviour); "lfs" = the
@@ -269,7 +275,7 @@ class Machine:
             for i in range(len(specs) - 1, -1, -1):
                 spec = specs[i]
                 sampler = CompressionSampler(
-                    create_compressor(spec.compressor),
+                    create_compressor(spec.compressor, fast=config.fast),
                     exact=exact,
                     keep_payloads=True,
                 )

@@ -1,0 +1,153 @@
+"""Golden-output tests: the vectorized kernels equal the scalar kernels.
+
+The ``fast=`` numpy paths in :mod:`repro.compression.vectorized` are
+*pure* speed work — every compressed payload must be byte-identical to
+the scalar encoder's, or the golden RunResult digests and the shared
+kernel-result cache (which assumes one canonical payload per page) break
+silently.  Same two-layer protection as ``test_golden_kernels.py``:
+
+* every page in a deterministic corpus spanning all content kinds
+  (including pathological/incompressible pages and run/segment boundary
+  cases) is compressed by both paths and the payloads diffed directly;
+* an aggregate SHA-256 over all scalar payloads is pinned, so a
+  coordinated edit of both paths is caught.
+
+Without numpy the ``fast=True`` constructors silently fall back to the
+scalar loop, so these tests still pass — they then assert scalar ==
+scalar, and ``test_fast_flag_resolution`` checks the fallback wiring.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List
+
+import pytest
+
+from repro.compression import vectorized
+from repro.compression.delta import VarintDeltaCompressor
+from repro.compression.lzrw1 import Lzrw1
+from repro.compression.lzss import Lzss
+from repro.compression.rle import Rle
+from repro.compression.wk import WkCompressor
+from repro.workloads import contentgen
+
+#: Aggregate SHA-256 of (payload + raw-flag byte) over the whole corpus,
+#: computed from the scalar kernels.  Pinned: a change here is a breaking
+#: format change, not a refactor.
+GOLDEN_DIGESTS = {
+    "rle": "d48a8de6b18b808c94b9ba2b4ccda8833ae539a4c3c5854789c776abd5bddc41",
+    "wk": "86d02efb79ceff07a0830059a05bd1ce6ba70c9f2fc44dd400c8055b6c40fef0",
+    "varint-delta": (
+        "47444306da064992768dab4ef79c84bb68634f54a3c8e32d6e65223d95693d21"
+    ),
+}
+
+
+def golden_corpus() -> List[bytes]:
+    """Deterministic pages spanning every content kind plus edge cases."""
+    pages: List[bytes] = []
+    dictionary = contentgen.make_dictionary()
+    for page_number in range(4):
+        pages += [
+            contentgen.repeating_pattern(page_number),
+            contentgen.incompressible(page_number),
+            contentgen.dp_band_values(page_number),
+            contentgen.index_page(page_number),
+            contentgen.cache_table_page(page_number),
+            contentgen.text_page_random(page_number, dictionary),
+            contentgen.text_page_clustered(page_number, dictionary),
+        ]
+    rng = random.Random(0xC0FFEE)
+    pages += [
+        bytes(4096),
+        b"\xff" * 4096,
+        (b"the quick brown fox jumps over the lazy dog " * 100)[:4096],
+        bytes(rng.randrange(256) for _ in range(4096)),
+        (bytes(rng.randrange(256) for _ in range(512)) * 8)[:4096],
+        b"".join((i & 0xFFFF).to_bytes(4, "little") for i in range(1024)),
+    ]
+    # Short inputs around the raw-fallback and chunk-flush boundaries.
+    for n in (0, 1, 2, 3, 4, 5, 15, 16, 17, 31, 33, 255, 257, 1000):
+        pages.append((b"abcabcabc!" * 110)[:n])
+    # RLE run-chunk boundaries (130/260 straddles) and word-segment
+    # boundaries for the delta codec (descending, large-gap ascending).
+    pages += [
+        b"a" * 131,
+        b"a" * 132,
+        b"a" * 133,
+        b"a" * 260 + b"xy",
+        b"ab" * 2048,
+        b"".join((4096 - i).to_bytes(4, "little") for i in range(1024)),
+        b"".join((i * 200).to_bytes(4, "little") for i in range(1024)),
+    ]
+    return pages
+
+
+PAIRS = {
+    "rle": (lambda: Rle(fast=True), lambda: Rle(fast=False)),
+    "wk": (
+        lambda: WkCompressor(fast=True),
+        lambda: WkCompressor(fast=False),
+    ),
+    "varint-delta": (
+        lambda: VarintDeltaCompressor(fast=True),
+        lambda: VarintDeltaCompressor(fast=False),
+    ),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(PAIRS))
+def test_fast_bit_identical_to_scalar(variant):
+    fast_factory, scalar_factory = PAIRS[variant]
+    fast, scalar = fast_factory(), scalar_factory()
+    digest = hashlib.sha256()
+    for page in golden_corpus():
+        got = fast.compress(page)
+        want = scalar.compress(page)
+        assert got.payload == want.payload, (
+            f"{variant}: fast payload diverges on a {len(page)}-byte page"
+        )
+        assert got.stored_raw == want.stored_raw
+        assert got.original_size == want.original_size == len(page)
+        assert scalar.decompress(got) == page
+        digest.update(want.payload)
+        digest.update(b"\x00" if want.stored_raw else b"\x01")
+    assert digest.hexdigest() == GOLDEN_DIGESTS[variant], (
+        f"{variant}: corpus digest changed — the stored format moved"
+    )
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [lambda: Lzrw1(fast=False), lambda: Lzss(fast=False)],
+    ids=["lzrw1", "lzss"],
+)
+def test_scalar_hash_path_matches_default(factory):
+    """fast=False (pure scalar hashing) emits the default kernel's bytes."""
+    scalar, default = factory(), type(factory())()
+    for page in golden_corpus():
+        got = scalar.compress(page)
+        want = default.compress(page)
+        assert got.payload == want.payload
+        assert got.stored_raw == want.stored_raw
+
+
+def test_fast_flag_resolution():
+    """``fast=False`` always forces scalar; otherwise numpy decides."""
+    assert vectorized.enabled(False) is False
+    assert vectorized.enabled(True) is vectorized.HAVE_NUMPY
+    assert vectorized.enabled(None) is vectorized.HAVE_NUMPY
+    assert Rle(fast=False)._use_fast is False
+    assert Rle()._use_fast is vectorized.HAVE_NUMPY
+    assert "fast kernels:" in vectorized.capability()
+
+
+def test_mixed_mode_shared_results_are_safe():
+    """Fast and scalar instances share one result-cache identity."""
+    for fast_factory, scalar_factory in PAIRS.values():
+        fast, scalar = fast_factory(), scalar_factory()
+        key = fast.result_cache_key()
+        assert key is not None
+        assert key == scalar.result_cache_key()

@@ -58,13 +58,15 @@ GOLDEN_EXACT = {
 }
 
 
-def run_digest(name: str, scale: float, exact: bool) -> str:
+def run_digest(name: str, scale: float, exact: bool,
+               fast=None) -> str:
     """Build the bench_sim machine for ``name`` and digest its RunResult."""
     from repro.cli import WORKLOAD_FACTORIES
 
     workload = WORKLOAD_FACTORIES[name](scale)
     config = MachineConfig(
-        memory_bytes=mbytes(6 * scale), exact_compression=exact
+        memory_bytes=mbytes(6 * scale), exact_compression=exact,
+        fast=fast,
     )
     machine = Machine(config, workload.build())
     refs = list(workload.references())
@@ -88,4 +90,34 @@ def test_exact_mode_matches_preoptimization_digest(name):
     assert run_digest(name, EXACT_SCALE, exact=True) == GOLDEN_EXACT[name], (
         f"{name}: simulation output diverged from the pre-optimization "
         "behaviour (exact compression, no memoization)"
+    )
+
+
+# The default runs above use fast=None — vectorized kernels whenever
+# numpy is importable — so on a numpy host they already pin the fast
+# variant against digests captured on the scalar tree.  The forced-
+# scalar runs below close the loop from the other side: the same digests
+# with fast=False, proving MachineConfig.fast moves host wall-clock
+# only.  Memo mode covers every workload (cheap: the shared kernel-
+# result cache is warm); exact mode — where every reference invokes the
+# real scalar kernel, no sharing — covers a subset to keep tier-1
+# wall-clock in budget.
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_MEMO))
+def test_memo_mode_scalar_kernels_match_same_digest(name):
+    assert run_digest(
+        name, MEMO_SCALE, exact=False, fast=False
+    ) == GOLDEN_MEMO[name], (
+        f"{name}: forcing scalar kernels (fast=False) changed simulation "
+        "output — the fast flag must be wall-clock only"
+    )
+
+
+@pytest.mark.parametrize("name", ["thrasher", "compare"])
+def test_exact_mode_scalar_kernels_match_same_digest(name):
+    assert run_digest(
+        name, EXACT_SCALE, exact=True, fast=False
+    ) == GOLDEN_EXACT[name], (
+        f"{name}: forcing scalar kernels (fast=False) changed simulation "
+        "output in exact mode — scalar and vectorized kernels diverged"
     )
