@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Single-kernel versus adaptive-selector compression comparison.
+
+Section 3 of the paper notes the design "should allow different
+compression algorithms to be used for different types of data".  The
+kernel family now spans LZ (lzrw1, lzss), word-prediction (wk),
+base-delta (bdi), frequent-pattern (fpc), and dictionary (cpack)
+codings, plus the ``adaptive`` selector that picks per page.  This sweep
+quantifies the claim behind the selector: per (kernel, workload) cell it
+reports the stored fraction (bytes the compressed layers actually hold,
+with 4:3 threshold failures charged at full page size), the mean kept
+ratio, effective memory, and host compression throughput — then checks
+whether adaptive beats the best single kernel on aggregate stored bytes
+across the whole workload mix.
+
+Every cell is an independent ``SweepPoint`` executed by ``repro.sweep``
+(the grid lives in ``repro.experiments.kernels_points``), so the run
+fans out across ``--jobs`` worker processes and can be checkpointed and
+resumed; rendered tables are identical at any job count.  Host-side
+``refs_per_second`` fields are wall-clock and vary across machines —
+the simulated fields are the deterministic ones.
+
+Run: python experiments/kernels_sweep.py [scale] [--jobs N]
+     [--resume checkpoint.jsonl] [--timeout seconds]
+"""
+
+import argparse
+
+from repro.experiments import kernels_points, render_kernels
+from repro.sweep import run_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scale", nargs="?", type=float, default=0.1)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--resume", default=None,
+                        help="JSONL checkpoint path (created if absent)")
+    parser.add_argument("--timeout", type=float, default=None)
+    args = parser.parse_args()
+
+    points = kernels_points(args.scale)
+    sweep = run_sweep(
+        points,
+        jobs=args.jobs,
+        checkpoint=args.resume,
+        timeout=args.timeout,
+        progress=print,
+    )
+    cells = {point.key: record
+             for point, record in zip(points, sweep.in_order(points))}
+    print(render_kernels(cells))
+
+
+if __name__ == "__main__":
+    main()

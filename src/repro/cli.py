@@ -3,12 +3,14 @@
 Usage::
 
     compression-cache run    --workload compare [--scale 0.05]
+                             [--compressor lzrw1|...|adaptive]
                              [--faults plan.json] [--drain] [--paranoid]
                              [--digest | --json]
     compression-cache figure1
     compression-cache figure3 [--scale 0.2] [--mode rw|ro|both] [--jobs N]
     compression-cache table1 [--scale 0.2] [--rows compare,isca] [--jobs N]
-    compression-cache sweep  [--experiment figure3|table1|ablations]
+    compression-cache sweep  [--experiment figure3|table1|ablations|
+                              tiers|kernels]
                              [--jobs N] [--resume path.jsonl] [--timeout s]
     compression-cache demo   [--scale 0.2]
     compression-cache perf   [--quick] [--skip-sim] [--check baseline.json]
@@ -34,6 +36,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .compression import available as available_compressors
 from .experiments import (
     TABLE1_ORDER,
     figure3_sweep,
@@ -136,6 +139,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     workload = factory(args.scale)
     config = MachineConfig(
         memory_bytes=mbytes(args.memory_mb * args.scale),
+        compressor=args.compressor,
         fault_plan=plan,
         paranoid=args.paranoid,
         tiers=tiers,
@@ -202,6 +206,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import (
         ablation_points,
         figure3_points,
+        kernels_points,
         table1_points,
         tiers_points,
     )
@@ -219,6 +224,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         points = table1_points(scale=args.scale)
     elif args.experiment == "tiers":
         points = tiers_points(args.scale)
+    elif args.experiment == "kernels":
+        points = kernels_points(args.scale)
     else:  # ablations
         points = ablation_points(args.scale)
     sweep = run_sweep(
@@ -240,6 +247,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     for key, record in sweep.results.items():
         print(f"{key}: {json.dumps(record, sort_keys=True)}")
+    if args.experiment == "kernels":
+        from .experiments import render_kernels
+
+        print(render_kernels(sweep.results))
     print(sweep.summary())
     return 0
 
@@ -476,6 +487,12 @@ def _cmd_trace_analyze(args: argparse.Namespace) -> int:
         print("the file may be truncated or not produced by "
               "trace-record; re-record it", file=sys.stderr)
         return 2
+    if len(trace) == 0:
+        # A zero-record trace is a valid (if vacuous) recording — e.g.
+        # trace-record with --max-events 0 on an empty stream — not a
+        # format error, so report it plainly and succeed.
+        print(f"empty trace: {args.trace} contains 0 references")
+        return 0
     curve = MissRatioCurve.from_references(
         [ref.page_id for ref in trace]
     )
@@ -518,6 +535,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="evict and flush everything at the end")
     run.add_argument("--paranoid", action="store_true",
                      help="verify every decompression round trip")
+    run.add_argument("--compressor", default="lzrw1",
+                     choices=available_compressors(),
+                     metavar="KERNEL",
+                     help="compression kernel for the default cache "
+                          f"(one of: {', '.join(available_compressors())}; "
+                          "see docs/kernels.md)")
     run.add_argument("--tiers", default="", metavar="SPEC",
                      help="compressed-tier chain, warmest first: "
                           "comma-separated compressor[:max_frames"
@@ -556,7 +579,8 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run an experiment as a parallel, resumable sweep"
     )
     sweep.add_argument("--experiment",
-                       choices=("figure3", "table1", "ablations", "tiers"),
+                       choices=("figure3", "table1", "ablations", "tiers",
+                                "kernels"),
                        default="figure3")
     sweep.add_argument("--scale", type=float, default=0.2)
     sweep.add_argument("--mode", choices=("rw", "ro", "both"),

@@ -4,13 +4,17 @@ Public surface:
 
 * :class:`Compressor`, :class:`CompressionResult` — the algorithm interface.
 * :func:`create` / :func:`available` — the name registry
-  (``lzrw1``, ``lzss``, ``rle``, ``wk``, ``null``).
+  (``lzrw1``, ``lzss``, ``rle``, ``wk``, ``bdi``, ``fpc``, ``cpack``,
+  ``varint-delta``, ``null``, and the ``adaptive`` selector).
 * :class:`Lzrw1` — the paper's on-line algorithm (Williams 1991).
+* :class:`AdaptiveCompressor` — per-page kernel selection over the
+  registered family (see docs/kernels.md).
 * :class:`CompressionThreshold`, :class:`CompressionStats` — the 4:3 rule
   and Table 1 accounting.
 * :class:`CompressionSampler` — memoized measurement used by the simulator.
 """
 
+from .adaptive import AdaptiveCompressor
 from .base import (
     CompressionError,
     CompressionResult,
@@ -22,7 +26,10 @@ from .base import (
     iter_compressors,
     register,
 )
+from .bdi import BdiCompressor
+from .cpack import CpackCompressor
 from .delta import VarintDeltaCompressor
+from .fpc import FpcCompressor
 from .lzrw1 import Lzrw1
 from .lzss import Lzss
 from .null import NullCompressor
@@ -32,6 +39,8 @@ from .stats import CompressionStats, CompressionThreshold
 from .wk import WkCompressor
 
 __all__ = [
+    "AdaptiveCompressor",
+    "BdiCompressor",
     "CompressionError",
     "CompressionResult",
     "CompressionSampler",
@@ -39,6 +48,8 @@ __all__ = [
     "CompressionThreshold",
     "Compressor",
     "CorruptDataError",
+    "CpackCompressor",
+    "FpcCompressor",
     "Lzrw1",
     "Lzss",
     "NullCompressor",

@@ -1,0 +1,180 @@
+"""C-Pack: pattern codes over a small FIFO word dictionary.
+
+C-Pack (Chen et al., 2010) is the hardware cache-compression design the
+DSCC-style simulators model: each 32-bit word is matched against a small
+dictionary of recently seen words and emitted as a short code naming how
+much of it matched.  Unlike WK's direct-mapped slots, the dictionary is
+a FIFO that fills on every unmatched word, so repeated pointers and
+structure fields converge on cheap dictionary hits after one miss.
+
+========  =========================================  ==========
+code      pattern                                    total bits
+========  =========================================  ==========
+``00``    zero word                                  2
+``01``    miss: full 32-bit word (pushed to FIFO)    34
+``10``    exact dictionary match (4-bit index)       6
+``1100``  high 16 bits match (index + 2 raw bytes)   24
+``1101``  zero except low byte                       12
+``1110``  high 24 bits match (index + 1 raw byte)    16
+========  =========================================  ==========
+
+Codes and raw bits share one LSB-first bit stream behind a word-count
+header; partial matches push the new word into the FIFO exactly as the
+decoder will, keeping both sides in lockstep.  Trailing bytes that do
+not fill a word are stored verbatim.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from .base import CompressionResult, Compressor, CorruptDataError, register
+from .wk import _BitReader, _BitWriter
+
+_DICT_SIZE = 16
+_INDEX_BITS = 4
+
+#: Two-bit primary codes; ``11`` selects a two-bit extension.
+_C_ZERO = 0b00
+_C_MISS = 0b01
+_C_EXACT = 0b10
+_C_EXT = 0b11
+_X_HIGH16 = 0b00  # mmxx: top half matches, low 16 bits raw
+_X_LOWBYTE = 0b01  # zzzx: zero except the low byte
+_X_HIGH24 = 0b10  # mmmx: top three bytes match, low byte raw
+
+
+@register("cpack")
+class CpackCompressor(Compressor):
+    """Small-dictionary pattern matcher in the C-Pack family.
+
+    Args:
+        fast: accepted for configuration compatibility with the
+            vectorized kernels; C-Pack's FIFO matching is inherently
+            sequential and runs as one scalar pass.
+    """
+
+    def __init__(self, fast: Optional[bool] = None):
+        self.fast = fast
+
+    def result_cache_key(self):
+        # Stateless and parameter-free: one canonical payload per page,
+        # so results are safe to share process-wide.
+        return ("cpack",)
+
+    def compress(self, data: bytes) -> CompressionResult:
+        n = len(data)
+        nwords, tail_len = divmod(n, 4)
+        if nwords == 0:
+            return CompressionResult(bytes(data), n, stored_raw=True)
+        words = struct.unpack(f"<{nwords}I", data[: nwords * 4])
+        tail = data[nwords * 4 :]
+
+        stream = _BitWriter()
+        write = stream.write
+        dictionary = [0] * _DICT_SIZE
+        fill = 0  # next FIFO slot to replace
+        for word in words:
+            if word == 0:
+                write(_C_ZERO, 2)
+                continue
+            if word & 0xFFFFFF00 == 0:
+                write(_C_EXT, 2)
+                write(_X_LOWBYTE, 2)
+                write(word, 8)
+                continue
+            best_pos = 0
+            best_bytes = 0
+            for pos in range(_DICT_SIZE):
+                entry = dictionary[pos]
+                if entry == word:
+                    best_pos = pos
+                    best_bytes = 4
+                    break
+                if best_bytes < 3:
+                    if entry ^ word < 0x100:
+                        best_pos = pos
+                        best_bytes = 3
+                    elif best_bytes < 2 and entry ^ word < 0x10000:
+                        best_pos = pos
+                        best_bytes = 2
+            if best_bytes == 4:
+                write(_C_EXACT, 2)
+                write(best_pos, _INDEX_BITS)
+                continue
+            if best_bytes == 3:
+                write(_C_EXT, 2)
+                write(_X_HIGH24, 2)
+                write(best_pos, _INDEX_BITS)
+                write(word, 8)
+            elif best_bytes == 2:
+                write(_C_EXT, 2)
+                write(_X_HIGH16, 2)
+                write(best_pos, _INDEX_BITS)
+                write(word, 16)
+            else:
+                write(_C_MISS, 2)
+                write(word, 32)
+            # Partial matches and misses push the word, replacing the
+            # oldest entry; the decoder mirrors this exactly.
+            dictionary[fill] = word
+            fill = (fill + 1) % _DICT_SIZE
+
+        out = struct.pack("<I", nwords) + stream.flush() + tail
+        if len(out) >= n:
+            return CompressionResult(bytes(data), n, stored_raw=True)
+        return CompressionResult(out, n)
+
+    def decompress(self, result: CompressionResult) -> bytes:
+        if result.stored_raw:
+            return result.payload
+        payload = result.payload
+        n = result.original_size
+        if len(payload) < 4:
+            raise CorruptDataError("cpack: header too short")
+        (nwords,) = struct.unpack_from("<I", payload)
+        tail_len = n - nwords * 4
+        if tail_len < 0 or 4 + tail_len > len(payload):
+            raise CorruptDataError("cpack: word count inconsistent with size")
+        tail = payload[len(payload) - tail_len :] if tail_len else b""
+        stream = _BitReader(payload[4 : len(payload) - tail_len])
+        read = stream.read
+
+        dictionary = [0] * _DICT_SIZE
+        fill = 0
+        words = []
+        for _ in range(nwords):
+            code = read(2)
+            if code == _C_ZERO:
+                words.append(0)
+                continue
+            if code == _C_EXACT:
+                words.append(dictionary[read(_INDEX_BITS)])
+                continue
+            if code == _C_MISS:
+                word = read(32)
+            else:  # _C_EXT
+                ext = read(2)
+                if ext == _X_LOWBYTE:
+                    words.append(read(8))
+                    continue
+                if ext == _X_HIGH24:
+                    base = dictionary[read(_INDEX_BITS)]
+                    word = (base & 0xFFFFFF00) | read(8)
+                elif ext == _X_HIGH16:
+                    base = dictionary[read(_INDEX_BITS)]
+                    word = (base & 0xFFFF0000) | read(16)
+                else:
+                    raise CorruptDataError(
+                        f"cpack: unknown extension code {ext}"
+                    )
+            words.append(word)
+            dictionary[fill] = word
+            fill = (fill + 1) % _DICT_SIZE
+        out = struct.pack(f"<{nwords}I", *words) + tail
+        if len(out) != n:
+            raise CorruptDataError(
+                f"cpack: decoded {len(out)} bytes, expected {n}"
+            )
+        return out

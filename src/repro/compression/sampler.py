@@ -62,6 +62,38 @@ def clear_shared_results() -> None:
     _SHARED_RESULTS.clear()
 
 
+def shared_compress(
+    compressor: Compressor,
+    data: bytes,
+    fingerprint: Optional[bytes] = None,
+) -> CompressionResult:
+    """Compress through the process-wide content-addressed cache.
+
+    The standalone counterpart of :meth:`CompressionSampler._compute`,
+    for callers that drive a kernel directly rather than through a
+    sampler — the adaptive selector's trial compressions in particular,
+    which probe several kernels per page and would otherwise re-run
+    every kernel on content some earlier trial (or run) already paid
+    for.  Kernels that opt out of sharing (``result_cache_key() is
+    None``) are simply invoked.
+    """
+    ckey = compressor.result_cache_key()
+    if ckey is None:
+        return compressor.compress(data)
+    fp = fingerprint if fingerprint is not None else _blake2b(
+        data, digest_size=16
+    ).digest()
+    skey = (ckey, fp)
+    shared = _SHARED_RESULTS.get(skey)
+    if shared is not None and shared.original_size == len(data):
+        return shared
+    result = compressor.compress(data)
+    _SHARED_RESULTS[skey] = result
+    while len(_SHARED_RESULTS) > _SHARED_MAX_ENTRIES:
+        _SHARED_RESULTS.popitem(last=False)
+    return result
+
+
 class CompressionSampler:
     """Caches compression outcomes per unique page content.
 

@@ -507,6 +507,76 @@ def bench_fault_overhead(
     }
 
 
+def bench_adaptive(
+    scale: float = 0.05,
+    reps: int = 8,
+    workloads: Sequence[str] = ("thrasher", "compare"),
+) -> Dict:
+    """Measure the adaptive selector's CPU cost against plain lzrw1.
+
+    Same-process A/B, interleaved samples, best-of-reps: each sample
+    runs one freshly built machine per workload with the given kernel
+    and times the whole engine run.  Both arms are warmed first (the
+    process-wide result cache means the first arm to run pays all the
+    real compression work), so the reported ``overhead_percent`` is the
+    steady-state selector cost — the kind fingerprint, memo probes, and
+    periodic re-trials — not the one-time trial compressions.  Target:
+    under 10%.
+    """
+    from .cli import WORKLOAD_FACTORIES  # late import: cli imports us
+    from .compression.sampler import clear_shared_results
+
+    inner = 3
+
+    def prepare(kernel: str):
+        prepared = []
+        for _ in range(inner):
+            for name in workloads:
+                workload = WORKLOAD_FACTORIES[name](scale)
+                machine = Machine(
+                    MachineConfig(memory_bytes=mbytes(6 * scale),
+                                  compressor=kernel),
+                    workload.build(),
+                )
+                prepared.append((SimulationEngine(machine),
+                                 list(workload.references())))
+        return prepared
+
+    def sample(kernel: str) -> Tuple[float, int]:
+        prepared = prepare(kernel)
+        refs = sum(len(r) for _, r in prepared)
+        t0 = _perf_counter()
+        for engine, ref_list in prepared:
+            engine.run(iter(ref_list))
+        return _perf_counter() - t0, refs
+
+    clear_shared_results()
+    sample("lzrw1")
+    sample("adaptive")
+    t_single = float("inf")
+    t_adaptive = float("inf")
+    refs_per_sample = 0
+    for _ in range(max(1, reps)):
+        wall, refs_per_sample = sample("lzrw1")
+        t_single = min(t_single, wall)
+        wall, _ = sample("adaptive")
+        t_adaptive = min(t_adaptive, wall)
+    overhead = max(0.0, (t_adaptive - t_single) / t_single * 100.0)
+    return {
+        "workloads": list(workloads),
+        "scale": scale,
+        "reps": reps,
+        "single_kernel": "lzrw1",
+        "single_wall_seconds": round(t_single, 4),
+        "adaptive_wall_seconds": round(t_adaptive, 4),
+        "single_pages_per_second": round(refs_per_sample / t_single, 1),
+        "adaptive_pages_per_second": round(
+            refs_per_sample / t_adaptive, 1
+        ),
+        "overhead_percent": round(overhead, 2),
+    }
+
+
 def _subsystem_of(filename: str) -> str:
     """Attribution bucket for a profiled code object's filename."""
     pos = filename.replace("\\", "/").find("/repro/")
@@ -777,6 +847,15 @@ def run_harness(
             baseline_path=baseline_path,
         )
         sim["fault_layer"] = overhead
+        echo("adaptive-selector overhead (adaptive vs lzrw1, same "
+             "process) ...")
+        selector = bench_adaptive(scale=0.05, reps=5 if quick else 8)
+        sim["adaptive_selector"] = selector
+        echo(f"  adaptive: "
+             f"{selector['adaptive_pages_per_second']:,.0f} pages/s vs "
+             f"lzrw1 {selector['single_pages_per_second']:,.0f} pages/s "
+             f"({selector['overhead_percent']:.1f}% overhead; "
+             f"target < 10%)")
         vs_baseline = overhead["vs_baseline_percent"]
         if vs_baseline is not None:
             echo(f"  fault-layer overhead when disabled: "

@@ -67,6 +67,11 @@ class RunResult:
     #: Per-tier snapshots (warmest first, store last); ``None`` unless an
     #: explicit tier chain is configured.
     tier_counters: Optional[list] = None
+    #: Adaptive-selector counters per tier running the ``adaptive``
+    #: kernel (pages, memo hits, trials, per-kernel choices); ``None``
+    #: unless some tier selects adaptively — default runs keep their
+    #: serialized form (and digests) unchanged.
+    selection_counters: Optional[Dict[str, object]] = None
 
     @property
     def sampler_hit_rate(self) -> float:
@@ -113,6 +118,8 @@ class RunResult:
             payload["gate"] = self.gate_counters
         if self.tier_counters is not None:
             payload["tiers"] = self.tier_counters
+        if self.selection_counters is not None:
+            payload["selection"] = self.selection_counters
         return _jsonable(payload)
 
 
@@ -304,7 +311,23 @@ class SimulationEngine:
             tier_counters=(
                 machine.chain.snapshot() if machine.explicit_tiers else None
             ),
+            selection_counters=self._selection_counters(),
         )
+
+    def _selection_counters(self) -> Optional[Dict[str, object]]:
+        """Per-tier adaptive-selector snapshots, or None when no tier
+        runs the adaptive kernel (so default digests never change)."""
+        from ..compression.adaptive import AdaptiveCompressor
+
+        chain = self.machine.chain
+        if chain is None:
+            return None
+        counters = {
+            tier.name: tier.sampler.compressor.selection_snapshot()
+            for tier in chain.tiers
+            if isinstance(tier.sampler.compressor, AdaptiveCompressor)
+        }
+        return counters or None
 
 
 def run_workload(machine: Machine, references: Iterable[PageRef],

@@ -114,6 +114,32 @@ class TestEndianness:
         assert ticks == [0, 0, 0, 123, 1500000]
 
 
+class TestAnalyzeCli:
+    def test_empty_binary_trace_reports_and_exits_zero(self, tmp_path,
+                                                       capsys):
+        """trace-analyze on a zero-record trace is not an error: it
+        says so explicitly and exits 0 (regression: the histogram code
+        used to be reached with no references)."""
+        from repro.cli import main
+
+        path = tmp_path / "empty.btrace"
+        with btrace.BinaryTraceWriter(path):
+            pass  # header only, zero records
+        assert main(["trace-analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "empty trace" in out
+        assert "0 references" in out
+
+    def test_empty_text_trace_reports_and_exits_zero(self, tmp_path,
+                                                     capsys):
+        from repro.cli import main
+
+        path = tmp_path / "empty.trace"
+        Trace([]).dump(path)
+        assert main(["trace-analyze", str(path)]) == 0
+        assert "empty trace" in capsys.readouterr().out
+
+
 class TestMalformed:
     def test_truncated_records_rejected(self, tmp_path):
         path = tmp_path / "trunc.btrace"
