@@ -14,7 +14,11 @@ Usage::
                              [--jobs N] [--resume path.jsonl] [--timeout s]
     compression-cache demo   [--scale 0.2]
     compression-cache perf   [--quick] [--skip-sim] [--check baseline.json]
-                             [--profile [N]]
+                             [--profile [N]] [--out profile.txt]
+    compression-cache serve  [--shards 4] [--port 9009]
+                             [--tenants alpha=8,beta=2] [--tier-mb 8,8]
+    compression-cache serve-bench [--shards 1,2,4] [--ops 20000]
+                             [--check baseline.json] [--resume b.jsonl]
     compression-cache inspect [--scale 0.1]
     compression-cache trace-record --workload compare --out t.trace
                              [--format binary] [--repeat N]
@@ -303,7 +307,131 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         check=Path(args.check) if args.check else None,
         skip_sim=args.skip_sim,
         profile=args.profile,
+        profile_out=Path(args.out) if args.out else None,
     )
+
+
+def _service_config_from_args(args: argparse.Namespace):
+    """Build a ServiceConfig from the shared serve/serve-bench options."""
+    from .mem.page import DEFAULT_PAGE_SIZE
+    from .service.config import ServiceConfig, tenants_from_spec
+
+    return ServiceConfig(
+        shards=args.shards,
+        vslots=args.vslots,
+        tenants=tenants_from_spec(args.tenants),
+        tier_bytes=tuple(
+            int(float(mb) * (1 << 20)) for mb in args.tier_mb.split(",")
+        ),
+        compressor=args.compressor,
+        page_size=DEFAULT_PAGE_SIZE,
+        batch_ops=args.batch_ops,
+        max_pending=args.max_pending,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the compressed-cache server over TCP until shut down."""
+    import asyncio
+
+    from .service.server import CacheService, serve_tcp
+
+    try:
+        config = _service_config_from_args(args)
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+    async def _run() -> int:
+        service = CacheService(config)
+        await service.start()
+        try:
+            server, stopped = await serve_tcp(
+                service, host=args.host, port=args.port
+            )
+            host, port = server.sockets[0].getsockname()[:2]
+            print(f"serving {config.shards} shard(s), "
+                  f"{config.vslots} vslots, "
+                  f"compressor {config.compressor} on {host}:{port}")
+            print("tenants: " + ", ".join(
+                t.name + (f" (quota {t.quota_bytes >> 20} MB)"
+                          if t.quota_bytes else "")
+                for t in config.tenants
+            ))
+            async with server:
+                await stopped.wait()
+            print("shutdown requested; draining")
+        finally:
+            await service.stop()
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Zipf traffic replay against the service; BENCH_service.json."""
+    import json
+    from pathlib import Path
+
+    from .perf import check_service_baseline
+    from .service.bench import bench_service
+
+    try:
+        shard_counts = [int(s) for s in args.shards.split(",")]
+    except ValueError:
+        print(f"serve-bench: bad --shards list {args.shards!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        bench = bench_service(
+            shard_counts=shard_counts,
+            ops=args.ops,
+            seed=args.seed,
+            checkpoint=args.resume,
+            progress=print,
+            compressor=args.compressor,
+            clients=args.clients,
+            batch_ops=args.batch_ops,
+            zipf_s=args.zipf,
+            diurnal_amplitude=args.diurnal,
+            pace_ops_s=args.pace or None,
+        )
+    except (AssertionError, RuntimeError) as exc:
+        print(f"serve-bench: {exc}", file=sys.stderr)
+        return 1
+    for shards in shard_counts:
+        run = bench["runs"][str(shards)]
+        lat = run["latency_us"]
+        print(f"  {shards} shard(s): {run['ops_per_second']:,.0f} ops/s, "
+              f"p50 {lat['p50']:,} us, p99 {lat['p99']:,} us, "
+              f"p999 {lat['p999']:,} us, "
+              f"mean batch {run['mean_batch_ops']:.1f} ops")
+    print(f"ledger digest (all shard counts): "
+          f"{bench['determinism']['ledger_digest']}")
+    scaling = bench["scaling"]
+    print(f"scaling: {scaling['best_shards']} shards reach "
+          f"{scaling['speedup']:.2f}x of 1 shard "
+          f"({bench['cpu_count']} CPU(s) visible)")
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(bench, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if args.check:
+        baseline = Path(args.check)
+        if not baseline.is_file():
+            print(f"error: baseline file not found: {baseline}",
+                  file=sys.stderr)
+            return 2
+        failures = check_service_baseline(bench, baseline)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            return 1
+        print(f"service measurements within tolerance of {baseline}: ok")
+    return 0
 
 
 def _cmd_trace_record(args: argparse.Namespace) -> int:
@@ -615,9 +743,69 @@ def build_parser() -> argparse.ArgumentParser:
                       help="baseline JSON; exit 1 on speedup regression")
     perf.add_argument("--profile", nargs="?", const=25, default=None,
                       type=int, metavar="N",
-                      help="cProfile the simulator and write "
-                           "BENCH_profile.txt (top N functions, "
-                           "default 25)")
+                      help="cProfile the simulator and write a report "
+                           "(top N functions, default 25)")
+    perf.add_argument("--out", default="", metavar="PATH",
+                      help="where --profile writes its report "
+                           "(default: OUT_DIR/BENCH_profile.txt)")
+
+    def add_service_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--vslots", type=int, default=64,
+            help="virtual slots (fixed across shard counts; "
+                 "see docs/service.md)")
+        command.add_argument(
+            "--compressor", default="adaptive",
+            choices=available_compressors(), metavar="KERNEL",
+            help="per-slot compression kernel")
+        command.add_argument(
+            "--batch-ops", type=int, default=32,
+            help="max operations coalesced per shard dispatch")
+
+    serve = sub.add_parser(
+        "serve", help="run the compressed-cache server over TCP"
+    )
+    serve.add_argument("--shards", type=int, default=1,
+                       help="shard worker processes")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 picks a free port (printed at startup)")
+    serve.add_argument("--tenants", default="default",
+                       help="name[=quota_mb],... (see docs/service.md)")
+    serve.add_argument("--tier-mb", default="8",
+                       help="comma-separated tier capacities in MBytes, "
+                            "warmest first")
+    serve.add_argument("--max-pending", type=int, default=1024,
+                       help="per-shard queued+in-flight bound "
+                            "(backpressure beyond it)")
+    add_service_options(serve)
+
+    sbench = sub.add_parser(
+        "serve-bench",
+        help="Zipf traffic bench; writes BENCH_service.json",
+    )
+    sbench.add_argument("--shards", default="1,2,4",
+                        help="comma-separated shard counts to compare")
+    sbench.add_argument("--ops", type=int, default=20000)
+    sbench.add_argument("--seed", type=int, default=1234)
+    sbench.add_argument("--clients", type=int, default=8,
+                        help="concurrent replay clients "
+                             "(vslot-partitioned)")
+    sbench.add_argument("--zipf", type=float, default=1.1,
+                        help="key-popularity skew (0 = uniform)")
+    sbench.add_argument("--pace", type=float, default=0.0,
+                        help="offered load in ops/s (0 = flat out)")
+    sbench.add_argument("--diurnal", type=float, default=0.0,
+                        help="diurnal ramp amplitude in [0,1) "
+                             "(shapes --pace)")
+    sbench.add_argument("--out", default="BENCH_service.json")
+    sbench.add_argument("--resume", default=None, metavar="PATH.jsonl",
+                        help="JSONL checkpoint: completed shard counts "
+                             "are not re-measured")
+    sbench.add_argument("--check", default="",
+                        help="baseline JSON; exit 1 on digest mismatch "
+                             "or throughput regression")
+    add_service_options(sbench)
 
     record = sub.add_parser(
         "trace-record", help="record a workload's reference trace"
@@ -675,6 +863,8 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "inspect": _cmd_inspect,
     "perf": _cmd_perf,
+    "serve": _cmd_serve,
+    "serve-bench": _cmd_serve_bench,
     "trace-record": _cmd_trace_record,
     "trace-replay": _cmd_trace_replay,
     "trace-analyze": _cmd_trace_analyze,
@@ -682,9 +872,29 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point."""
+    """Entry point.
+
+    An interrupted sweep (Ctrl-C) exits with the conventional SIGINT
+    code 130 after printing how to resume: completed points were
+    checkpointed the moment they finished, so a rerun with the same
+    ``--resume`` path continues instead of recomputing.
+    """
+    from .sweep import SweepInterrupted
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except SweepInterrupted as exc:
+        done = len(exc.result.results)
+        if exc.checkpoint:
+            print(f"interrupted: {done} completed point(s) saved; "
+                  f"rerun with --resume {exc.checkpoint} to continue",
+                  file=sys.stderr)
+        else:
+            print("interrupted: no checkpoint was in use; rerun with "
+                  "--resume PATH.jsonl to make interruption resumable",
+                  file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

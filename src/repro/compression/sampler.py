@@ -62,6 +62,11 @@ def clear_shared_results() -> None:
     _SHARED_RESULTS.clear()
 
 
+def shared_results_size() -> int:
+    """Entries currently in the process-wide result cache."""
+    return len(_SHARED_RESULTS)
+
+
 def shared_compress(
     compressor: Compressor,
     data: bytes,

@@ -286,6 +286,39 @@ def bench_micro(reps: int = 5) -> Dict:
     }
 
 
+class _TimedReferences:
+    """Iterator wrapper measuring per-reference engine processing time.
+
+    The engine pulls references one at a time, so the gap between one
+    ``__next__`` *returning* and the next being *entered* is exactly the
+    engine's processing time for the returned reference.  Feeding those
+    gaps (µs) into a :class:`LatencyRecorder` yields per-reference
+    latency percentiles without touching the engine's hot loop.
+    """
+
+    __slots__ = ("_it", "_recorder", "_last")
+
+    def __init__(self, refs, recorder) -> None:
+        self._it = iter(refs)
+        self._recorder = recorder
+        self._last: Optional[int] = None
+
+    def __iter__(self) -> "_TimedReferences":
+        return self
+
+    def __next__(self):
+        now = time.perf_counter_ns()
+        if self._last is not None:
+            self._recorder.record(max(1, (now - self._last) // 1000))
+        try:
+            ref = next(self._it)
+        except StopIteration:
+            self._last = None
+            raise
+        self._last = time.perf_counter_ns()
+        return ref
+
+
 def bench_sim(scale: float = 0.12,
               workloads: Optional[Sequence[str]] = None,
               reps: int = 3,
@@ -299,8 +332,15 @@ def bench_sim(scale: float = 0.12,
     is host-side pages (references) per second, the rate the whole
     reproduction pipeline sustains.  Simulated results are deterministic,
     so every rep produces the identical RunResult; only wall time varies.
+
+    One additional *timed* rep per workload wraps the reference stream in
+    :class:`_TimedReferences` to collect per-reference latency
+    percentiles (p50/p95/p99) — the tail tells a different story than
+    the mean: compression-heavy faults are orders of magnitude slower
+    than resident hits, and only the percentiles expose that mix.
     """
     from .cli import WORKLOAD_FACTORIES  # late import: cli imports us
+    from .service.latency import LatencyRecorder
 
     mode = "scalar" if fast is False else (
         "fast" if vectorized.HAVE_NUMPY else "scalar"
@@ -326,12 +366,22 @@ def bench_sim(scale: float = 0.12,
             wall = _perf_counter() - t0
             if best_wall is None or wall < best_wall:
                 best_wall = wall
+        # Dedicated timed rep: the wrapper adds a clock read per
+        # reference, so it never contributes to the best-of wall times.
+        recorder = LatencyRecorder()
+        workload = factory(scale)
+        machine = Machine(
+            MachineConfig(memory_bytes=mbytes(6 * scale), fast=fast),
+            workload.build(),
+        )
+        SimulationEngine(machine).run(_TimedReferences(refs, recorder))
         total_refs += len(refs)
         total_wall += best_wall
         result["workloads"][name] = {
             "references": len(refs),
             "wall_seconds": round(best_wall, 4),
             "pages_per_second": round(len(refs) / best_wall, 1),
+            "latency_us": recorder.snapshot(percentiles=(50.0, 95.0, 99.0)),
             "sampler_hit_rate": round(run.sampler_hit_rate, 4),
             "simulated_seconds": round(run.elapsed_seconds, 3),
         }
@@ -757,12 +807,96 @@ def check_against_baseline(compression: Dict, baseline_path: Path,
     return failures
 
 
+#: Tolerated fraction of the committed service ops/s floor, mirroring
+#: SIM_CHECK_TOLERANCE: the committed floors are conservative and
+#: host-absolute, so only large drops indicate an algorithmic problem.
+SERVICE_CHECK_TOLERANCE = 0.30
+
+
+def check_service_baseline(bench: Dict, baseline_path: Path) -> List[str]:
+    """Compare a BENCH_service.json payload against the baseline.
+
+    Three gates, from hard to soft:
+
+    * **ledger digest** — exact.  Applies only when the bench ran the
+      committed spec (same spec digest); a digest mismatch on the same
+      spec is a determinism regression, the one failure with no
+      tolerance.
+    * **throughput floor** — best shard count's ops/s must stay within
+      :data:`SERVICE_CHECK_TOLERANCE` of ``min_ops_per_second``
+      (conservative, host-absolute; catches serialization bugs, not
+      scheduler noise).
+    * **scaling floor** — ``speedup`` vs 1 shard must reach
+      ``min_speedup``, but only when the host has at least
+      ``min_speedup_cpus`` CPUs: shard processes cannot run in parallel
+      on fewer cores, so the check would measure the machine, not the
+      code.  Skips are reported by the caller's echo, not silent
+      failures.
+    """
+    from .sweep import spec_digest
+
+    baseline = json.loads(Path(baseline_path).read_text())
+    service = baseline.get("service")
+    if not service:
+        return [f"{baseline_path}: no 'service' section in baseline"]
+    failures: List[str] = []
+
+    expected_digest = service.get("ledger_digest")
+    expected_spec = service.get("spec_digest")
+    bench_spec = spec_digest(bench.get("spec", {}))
+    if expected_digest:
+        if expected_spec and expected_spec != bench_spec:
+            pass  # different spec: the committed digest does not apply
+        elif bench["determinism"]["ledger_digest"] != expected_digest:
+            failures.append(
+                f"ledger digest {bench['determinism']['ledger_digest']} "
+                f"!= committed {expected_digest} (determinism regression)"
+            )
+
+    floor_ops = service.get("min_ops_per_second")
+    if floor_ops:
+        best = bench["scaling"]["best_ops_s"]
+        floor = floor_ops * (1.0 - SERVICE_CHECK_TOLERANCE)
+        if best < floor:
+            failures.append(
+                f"service throughput {best:.0f} ops/s is more than "
+                f"{SERVICE_CHECK_TOLERANCE:.0%} below the committed "
+                f"{floor_ops:.0f} ops/s (floor {floor:.0f})"
+            )
+
+    min_speedup = service.get("min_speedup")
+    needed_cpus = service.get("min_speedup_cpus", 4)
+    cpus = bench.get("cpu_count") or 1
+    if min_speedup and cpus >= needed_cpus:
+        speedup = bench["scaling"]["speedup"]
+        if speedup < min_speedup:
+            failures.append(
+                f"scaling {speedup:.2f}x at "
+                f"{bench['scaling']['best_shards']} shards is below the "
+                f"committed {min_speedup:.2f}x floor ({cpus} CPUs)"
+            )
+
+    max_p99 = service.get("max_p99_us")
+    if max_p99:
+        p99 = bench["scaling"].get("best_p99_us")
+        if p99 is None:
+            best = str(bench["scaling"]["best_shards"])
+            p99 = bench["runs"][best]["latency_us"]["p99"]
+        if p99 > max_p99:
+            failures.append(
+                f"p99 latency {p99} us exceeds the committed ceiling "
+                f"{max_p99} us"
+            )
+    return failures
+
+
 def run_harness(
     out_dir: Path,
     quick: bool = False,
     check: Optional[Path] = None,
     skip_sim: bool = False,
     profile: Optional[int] = None,
+    profile_out: Optional[Path] = None,
     echo: Callable[[str], None] = print,
 ) -> int:
     """Run the full harness; returns a process exit code."""
@@ -804,8 +938,10 @@ def run_harness(
         echo(f"simulation throughput at scale {scale}, best of 3 reps ...")
         sim = bench_sim(scale=scale)
         for name, row in sim["workloads"].items():
+            lat = row["latency_us"]
             echo(f"  {name}: {row['pages_per_second']:.0f} pages/s "
-                 f"({row['references']} refs, "
+                 f"(p50 {lat['p50']} us, p95 {lat['p95']} us, "
+                 f"p99 {lat['p99']} us; {row['references']} refs, "
                  f"sampler memo {row['sampler_hit_rate']:.0%})")
         echo(f"  aggregate ({sim['mode']}): "
              f"{sim['aggregate']['pages_per_second']:,.0f} refs/s over "
@@ -874,7 +1010,10 @@ def run_harness(
         echo(f"profiling simulator at scale {scale} "
              f"(top {profile} functions) ...")
         report = profile_sim(scale=scale, top_n=profile)
-        prof_path = out_dir / "BENCH_profile.txt"
+        prof_path = (profile_out if profile_out is not None
+                     else out_dir / "BENCH_profile.txt")
+        if prof_path.parent and not prof_path.parent.exists():
+            prof_path.parent.mkdir(parents=True, exist_ok=True)
         prof_path.write_text(report)
         for line in report.splitlines():
             if line.startswith("  repro."):

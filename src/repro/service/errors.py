@@ -1,0 +1,49 @@
+"""Service-level error types.
+
+The front-end distinguishes *retryable* rejections (admission control
+shedding load it could serve a moment later) from *fatal* ones (a shard
+process died).  Clients branch on :attr:`ServiceError.retryable` rather
+than on exception class, so the contract survives refactoring.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base class for service failures.
+
+    Attributes:
+        retryable: whether retrying the same request later can succeed.
+    """
+
+    retryable = False
+
+
+class BackpressureError(ServiceError):
+    """The request was shed by admission control.
+
+    Raised when a shard's bounded request queue is full, or when the
+    issuing tenant already has its configured maximum of in-flight
+    requests.  Always retryable: the condition clears as the shard
+    drains its queue.
+    """
+
+    retryable = True
+
+
+class ShardDeadError(ServiceError):
+    """The shard that owns the requested key is no longer running.
+
+    Raised for every request in flight to a shard whose worker process
+    exited, and immediately for later requests routed to it.  Not
+    retryable against this service instance; the caller must re-shard
+    or restart.
+    """
+
+    retryable = False
+
+
+class ProtocolError(ServiceError):
+    """A malformed frame arrived on the wire (truncated or corrupt)."""
+
+    retryable = False

@@ -1,0 +1,113 @@
+"""Per-tenant accounting with an order-independent merge.
+
+Every virtual slot keeps one :class:`TenantLedger` per tenant it has
+served.  All counters are commutative sums, so merging per-slot ledgers
+into per-tenant totals gives the same result for *any* grouping of slots
+into shard processes — the heart of the shard-count-invariance
+guarantee (``docs/service.md``).  The canonical digest over the merged
+ledgers is what the determinism tests and the CI service-smoke job pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+#: Counter names, fixed so serialized ledgers are schema-stable.
+COUNTERS = (
+    "gets",          # GET requests applied
+    "hits",          # GETs answered from the warm (first) tier
+    "cold_hits",     # GETs answered from a colder tier (and promoted)
+    "misses",        # GETs for keys not resident anywhere
+    "puts",          # PUT requests applied (stored or denied)
+    "stores",        # PUTs actually stored
+    "deletes",       # DELETEs that removed a resident key
+    "delete_misses",  # DELETEs for keys not resident
+    "payload_bytes",  # cumulative original bytes offered by PUTs
+    "stored_bytes",  # cumulative compressed bytes written
+    "demotions",     # entries pushed one tier colder
+    "evictions",     # entries dropped from the coldest tier
+    "quota_evictions",  # own entries evicted to honour the byte quota
+    "quota_denials",    # PUTs rejected because they exceed the quota alone
+)
+
+
+@dataclass
+class TenantLedger:
+    """Commutative counters for one tenant (within one virtual slot)."""
+
+    counters: Dict[str, int] = field(
+        default_factory=lambda: dict.fromkeys(COUNTERS, 0)
+    )
+    #: bytes currently resident; sums across slots like everything else.
+    resident_bytes: int = 0
+    #: entries currently resident.
+    resident_entries: int = 0
+
+    def bump(self, name: str, delta: int = 1) -> None:
+        """Increment one counter (must be a :data:`COUNTERS` name)."""
+        self.counters[name] += delta
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-native snapshot (counter order fixed by COUNTERS)."""
+        out = {name: self.counters[name] for name in COUNTERS}
+        out["resident_bytes"] = self.resident_bytes
+        out["resident_entries"] = self.resident_entries
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "TenantLedger":
+        """Inverse of :meth:`as_dict` (unknown keys rejected)."""
+        ledger = cls()
+        for key, value in data.items():
+            if key == "resident_bytes":
+                ledger.resident_bytes = int(value)
+            elif key == "resident_entries":
+                ledger.resident_entries = int(value)
+            elif key in ledger.counters:
+                ledger.counters[key] = int(value)
+            else:
+                raise ValueError(f"unknown ledger counter {key!r}")
+        return ledger
+
+    def merge(self, other: "TenantLedger") -> None:
+        """Fold another ledger's counts into this one (commutative)."""
+        for name, value in other.counters.items():
+            self.counters[name] += value
+        self.resident_bytes += other.resident_bytes
+        self.resident_entries += other.resident_entries
+
+
+def merge_ledgers(
+    parts: Iterable[Mapping[str, Mapping[str, int]]],
+) -> Dict[str, Dict[str, int]]:
+    """Merge per-slot/per-shard ``{tenant: ledger dict}`` maps.
+
+    Input order never affects the result: every counter is a sum.
+    Returns tenants sorted by name with schema-ordered counters, the
+    canonical form :func:`ledger_digest` fingerprints.
+    """
+    merged: Dict[str, TenantLedger] = {}
+    for part in parts:
+        for tenant, counters in part.items():
+            ledger = merged.get(tenant)
+            if ledger is None:
+                merged[tenant] = TenantLedger.from_dict(counters)
+            else:
+                ledger.merge(TenantLedger.from_dict(counters))
+    return {
+        tenant: merged[tenant].as_dict() for tenant in sorted(merged)
+    }
+
+
+def ledger_digest(ledgers: Mapping[str, Mapping[str, int]]) -> str:
+    """sha256 of the canonical JSON encoding of merged ledgers.
+
+    The determinism contract: the digest of a seeded traffic replay is
+    identical for every shard count (see tests/service/test_service.py
+    and the CI service-smoke job).
+    """
+    canonical = json.dumps(ledgers, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,469 @@
+"""The asyncio front-end: batching, backpressure, and shard routing.
+
+:class:`CacheService` is the in-process server.  One dispatcher
+coroutine per shard drains that shard's FIFO queue, coalescing up to
+``batch_ops`` operations into a single request frame per dispatch; a
+dedicated reader thread per shard blocks in ``recv_bytes`` and completes
+futures on the loop via ``call_soon_threadsafe``.  Request and response
+frames match one-to-one in FIFO order, so completion is a deque pop —
+no sequence numbers on the wire.
+
+Flow control is two-layered:
+
+* **Backpressure** — a per-shard semaphore bounds queued + in-flight
+  operations at ``max_pending``.  ``wait=True`` submissions park on the
+  semaphore; ``wait=False`` submissions get an immediate
+  :class:`BackpressureError` (``retryable=True``) instead.
+* **Admission** — an optional per-tenant in-flight cap
+  (``tenant_inflight``) keeps one hot tenant from monopolizing every
+  shard queue; same wait/raise split.
+
+Determinism note: the queue is FIFO and each shard applies frames
+sequentially, so per-virtual-slot operation order equals submission
+order.  A client that awaits each of its own submissions (the traffic
+generator partitions clients by virtual slot) therefore produces the
+same per-slot op sequence under any shard count, pipelining depth, or
+batch coalescing — which is what pins the ledgers.
+
+``serve_tcp`` wraps a :class:`CacheService` in a TCP listener speaking
+length-prefixed frames of the same wire format, for `repro serve`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from .config import ServiceConfig
+from .errors import BackpressureError, ProtocolError, ShardDeadError
+from .ledger import merge_ledgers
+from .protocol import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    OP_SHUTDOWN,
+    OP_STATS,
+    ST_BYE,
+    ST_DELETED,
+    ST_HIT,
+    ST_QUOTA_DENIED,
+    ST_STATS,
+    ST_STORED,
+    RequestBatch,
+    ResponseBatch,
+    iter_requests,
+    parse_responses,
+)
+from .shard import ShardHandle
+
+#: queue item: (op, tenant, vslot, key, payload, future)
+_Item = Tuple[int, int, int, int, Optional[object], "asyncio.Future"]
+
+
+class CacheService:
+    """Hash-sharded compressed page cache behind an asyncio API.
+
+    Usage::
+
+        service = CacheService(config)
+        await service.start()
+        try:
+            await service.put("default", key, page)
+            page = await service.get("default", key)
+        finally:
+            await service.stop()
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shards: List[ShardHandle] = []
+        self._queues: List["asyncio.Queue[Optional[_Item]]"] = []
+        self._inflight: List[Deque[List["asyncio.Future"]]] = []
+        self._pending: List[asyncio.Semaphore] = []
+        self._tenant_gates: Dict[int, asyncio.Semaphore] = {}
+        self._dispatchers: List["asyncio.Task"] = []
+        self._send_pool: Optional[ThreadPoolExecutor] = None
+        self._started = False
+        self._stopping = False
+        #: batches dispatched per shard (front-end view, for stats()).
+        self.batches_sent: List[int] = []
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn shard workers, reader threads, and dispatchers."""
+        if self._started:
+            raise RuntimeError("service already started")
+        config = self.config
+        self._loop = asyncio.get_running_loop()
+        self._send_pool = ThreadPoolExecutor(
+            max_workers=config.shards,
+            thread_name_prefix="ccache-send",
+        )
+        if config.tenant_inflight is not None:
+            self._tenant_gates = {
+                i: asyncio.Semaphore(config.tenant_inflight)
+                for i in range(len(config.tenants))
+            }
+        for shard_id in range(config.shards):
+            handle = ShardHandle(config, shard_id)
+            self._shards.append(handle)
+            self._queues.append(asyncio.Queue())
+            self._inflight.append(deque())
+            self._pending.append(asyncio.Semaphore(config.max_pending))
+            self.batches_sent.append(0)
+            handle.start_reader(
+                on_frame=self._threadsafe(self._on_frame, shard_id),
+                on_death=self._threadsafe(self._on_death, shard_id),
+            )
+            self._dispatchers.append(
+                self._loop.create_task(self._dispatch(shard_id))
+            )
+        self._started = True
+
+    def _threadsafe(self, fn, shard_id: int):
+        """Wrap a completion handler for reader-thread invocation."""
+        loop = self._loop
+
+        def _call(*args) -> None:
+            try:
+                loop.call_soon_threadsafe(fn, shard_id, *args)
+            except RuntimeError:
+                pass  # loop already closed during teardown
+
+        return _call
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain shards, reap workers, join threads."""
+        if not self._started or self._stopping:
+            return
+        self._stopping = True
+        for shard_id, handle in enumerate(self._shards):
+            if not handle.dead:
+                try:
+                    await self._submit_to_shard(
+                        shard_id, OP_SHUTDOWN, 0,
+                        self._control_vslot(shard_id), 0, None, wait=True,
+                    )
+                except ShardDeadError:
+                    pass  # already gone; reaped below
+        for queue in self._queues:
+            queue.put_nowait(None)
+        for task in self._dispatchers:
+            await task
+        for handle in self._shards:
+            handle.close()
+        if self._send_pool is not None:
+            self._send_pool.shutdown(wait=True)
+        self._started = False
+
+    # -- public data-plane API ----------------------------------------
+
+    async def get(
+        self, tenant: Union[int, str], key: int, wait: bool = True
+    ) -> Optional[memoryview]:
+        """Fetch a page; ``None`` on miss.  Zero-copy: the returned
+        memoryview aliases the response frame."""
+        status, payload = await self.submit(
+            OP_GET, tenant, key, None, wait=wait
+        )
+        return payload if status == ST_HIT else None
+
+    async def put(
+        self,
+        tenant: Union[int, str],
+        key: int,
+        page: object,
+        wait: bool = True,
+    ) -> bool:
+        """Store a page (any buffer-protocol object).  ``False`` means
+        the tenant's quota denied it."""
+        status, _ = await self.submit(OP_PUT, tenant, key, page, wait=wait)
+        if status == ST_STORED:
+            return True
+        if status == ST_QUOTA_DENIED:
+            return False
+        raise ProtocolError(f"unexpected PUT status {status}")
+
+    async def delete(
+        self, tenant: Union[int, str], key: int, wait: bool = True
+    ) -> bool:
+        """Remove a page; ``False`` if it was not resident."""
+        status, _ = await self.submit(
+            OP_DELETE, tenant, key, None, wait=wait
+        )
+        return status == ST_DELETED
+
+    async def submit(
+        self,
+        op: int,
+        tenant: Union[int, str],
+        key: int,
+        payload: Optional[object],
+        wait: bool = True,
+    ) -> Tuple[int, Optional[memoryview]]:
+        """Route one operation; returns ``(status, payload view)``.
+
+        ``wait=False`` turns both flow-control gates into immediate
+        :class:`BackpressureError` (retryable) instead of queueing.
+        """
+        tenant_index = (
+            tenant if isinstance(tenant, int)
+            else self.config.tenant_index(tenant)
+        )
+        vslot = self.config.vslot_of(key)
+        shard_id = self.config.shard_of_vslot(vslot)
+        gate = self._tenant_gates.get(tenant_index)
+        if gate is not None:
+            if wait:
+                await gate.acquire()
+            elif gate.locked():
+                raise BackpressureError(
+                    f"tenant {tenant_index} at in-flight cap "
+                    f"({self.config.tenant_inflight})"
+                )
+            else:
+                await gate.acquire()
+        try:
+            return await self._submit_to_shard(
+                shard_id, op, tenant_index, vslot, key, payload, wait
+            )
+        finally:
+            if gate is not None:
+                gate.release()
+
+    async def stats(self) -> Dict[str, object]:
+        """Merged per-tenant ledgers plus per-shard counters."""
+        replies = await asyncio.gather(*(
+            self._submit_to_shard(
+                shard_id, OP_STATS, 0,
+                self._control_vslot(shard_id), 0, None, wait=True,
+            )
+            for shard_id in range(self.config.shards)
+            if not self._shards[shard_id].dead
+        ))
+        shards = []
+        for status, payload in replies:
+            if status != ST_STATS:
+                raise ProtocolError(f"unexpected STATS status {status}")
+            shards.append(json.loads(bytes(payload).decode("utf-8")))
+        ledgers = merge_ledgers(shard["ledgers"] for shard in shards)
+        return {
+            "config": self.config.describe(),
+            "shards": shards,
+            "ledgers": ledgers,
+        }
+
+    def live_shards(self) -> int:
+        """Shards still serving (for health checks and tests)."""
+        return sum(1 for handle in self._shards if not handle.dead)
+
+    # -- internals ----------------------------------------------------
+
+    def _control_vslot(self, shard_id: int) -> int:
+        """Any vslot owned by the shard (control ops need a valid one)."""
+        return self.config.slots_of_shard(shard_id)[0]
+
+    async def _submit_to_shard(
+        self,
+        shard_id: int,
+        op: int,
+        tenant: int,
+        vslot: int,
+        key: int,
+        payload: Optional[object],
+        wait: bool,
+    ) -> Tuple[int, Optional[memoryview]]:
+        if not self._started:
+            raise RuntimeError("service not started")
+        handle = self._shards[shard_id]
+        if handle.dead:
+            raise ShardDeadError(f"shard {shard_id} is dead")
+        sem = self._pending[shard_id]
+        if wait:
+            await sem.acquire()
+        elif sem.locked():
+            raise BackpressureError(
+                f"shard {shard_id} at max_pending "
+                f"({self.config.max_pending})"
+            )
+        else:
+            await sem.acquire()
+        future: "asyncio.Future" = self._loop.create_future()
+        future.add_done_callback(lambda _f: sem.release())
+        # Re-check after any semaphore wait: the shard may have died
+        # while we were parked.
+        if handle.dead:
+            future.set_exception(ShardDeadError(f"shard {shard_id} is dead"))
+            return await future
+        self._queues[shard_id].put_nowait(
+            (op, tenant, vslot, key, payload, future)
+        )
+        status, view = await future
+        return status, view
+
+    async def _dispatch(self, shard_id: int) -> None:
+        """Drain the shard queue, coalescing up to ``batch_ops`` per
+        frame.  The single awaited send per iteration serializes frame
+        order with in-flight deque order — the FIFO matching invariant.
+        """
+        queue = self._queues[shard_id]
+        handle = self._shards[shard_id]
+        batch_ops = self.config.batch_ops
+        loop = self._loop
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            items = [item]
+            while len(items) < batch_ops:
+                try:
+                    nxt = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is None:
+                    queue.put_nowait(None)  # re-arm the stop sentinel
+                    break
+                items.append(nxt)
+            batch = RequestBatch()
+            futures: List["asyncio.Future"] = []
+            for op, tenant, vslot, key, payload, future in items:
+                batch.add(op, tenant, vslot, key, payload)
+                futures.append(future)
+            frame = bytes(batch.finish())
+            if handle.dead:
+                self._fail_futures(futures, shard_id)
+                continue
+            self._inflight[shard_id].append(futures)
+            self.batches_sent[shard_id] += 1
+            try:
+                await loop.run_in_executor(
+                    self._send_pool, handle.send, frame
+                )
+            except (BrokenPipeError, OSError):
+                # The reader thread notices the death too, but races
+                # us: remove the batch ourselves if it is still queued.
+                try:
+                    self._inflight[shard_id].remove(futures)
+                except ValueError:
+                    pass
+                self._on_death(shard_id)
+                self._fail_futures(futures, shard_id)
+
+    def _on_frame(self, shard_id: int, frame: bytes) -> None:
+        """Loop-side completion of one response frame (FIFO match)."""
+        futures = self._inflight[shard_id].popleft()
+        records = parse_responses(memoryview(frame))
+        if len(records) != len(futures):
+            raise ProtocolError(
+                f"shard {shard_id}: {len(records)} responses for "
+                f"{len(futures)} requests"
+            )
+        for future, (status, payload) in zip(futures, records):
+            if not future.done():
+                future.set_result(
+                    (status, payload if payload.nbytes else None)
+                )
+
+    def _on_death(self, shard_id: int) -> None:
+        """Fail everything touching a dead shard; never deadlock."""
+        handle = self._shards[shard_id]
+        if handle.dead:
+            return
+        handle.dead = True
+        if self._stopping:
+            # Clean shutdown: EOF after ST_BYE is the expected epilogue.
+            return
+        inflight = self._inflight[shard_id]
+        while inflight:
+            self._fail_futures(inflight.popleft(), shard_id)
+        # Queued-but-undispatched items die too (the dispatcher would
+        # only fail them at its next wakeup; do it now).
+        queue = self._queues[shard_id]
+        requeue: List[Optional[_Item]] = []
+        while True:
+            try:
+                item = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is None:
+                requeue.append(None)
+                continue
+            self._fail_futures([item[5]], shard_id)
+        for sentinel in requeue:
+            queue.put_nowait(sentinel)
+
+    @staticmethod
+    def _fail_futures(futures, shard_id: int) -> None:
+        exc = ShardDeadError(f"shard {shard_id} died")
+        for future in futures:
+            if not future.done():
+                future.set_exception(exc)
+
+
+# -- TCP front-end ---------------------------------------------------
+
+
+async def serve_tcp(
+    service: CacheService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> Tuple["asyncio.AbstractServer", "asyncio.Event"]:
+    """Expose a started service over TCP (length-prefixed frames).
+
+    The wire format is a u32 frame length followed by a request frame
+    exactly as :mod:`repro.service.protocol` defines it; the reply is a
+    u32-prefixed response frame.  Client-supplied vslot fields are
+    ignored — routing is always recomputed from the key, so a confused
+    client cannot corrupt another slot.  Returns the server object and
+    a *stopped* event that an :data:`OP_SHUTDOWN` record sets.
+    """
+    stopped = asyncio.Event()
+
+    async def _handle(reader: "asyncio.StreamReader",
+                      writer: "asyncio.StreamWriter") -> None:
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(4)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return
+                length = int.from_bytes(header, "little")
+                try:
+                    frame = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return
+                reply = ResponseBatch()
+                shutdown = False
+                for op, tenant, _vslot, key, payload in iter_requests(
+                    memoryview(frame)
+                ):
+                    if op == OP_SHUTDOWN:
+                        reply.add(ST_BYE)
+                        shutdown = True
+                    elif op == OP_STATS:
+                        blob = json.dumps(
+                            await service.stats(), sort_keys=True
+                        ).encode("utf-8")
+                        reply.add(ST_STATS, blob)
+                    else:
+                        status, view = await service.submit(
+                            op, tenant, key,
+                            bytes(payload) if payload.nbytes else None,
+                        )
+                        reply.add(status, view)
+                out = bytes(reply.finish())
+                writer.write(len(out).to_bytes(4, "little") + out)
+                await writer.drain()
+                if shutdown:
+                    stopped.set()
+                    return
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(_handle, host, port)
+    return server, stopped

@@ -60,6 +60,27 @@ class SweepError(Exception):
     """A sweep could not be completed."""
 
 
+class SweepInterrupted(SweepError):
+    """The user interrupted the sweep (Ctrl-C / SIGINT).
+
+    Raised by :func:`run_sweep` *after* the checkpoint writer has been
+    flushed and closed, so every point completed before the interrupt is
+    durably recorded and a rerun with the same checkpoint resumes
+    without recomputing any of them.  Carries the partial result.
+    """
+
+    def __init__(self, result: "SweepResult",
+                 checkpoint: Optional[Union[str, Path]]):
+        self.result = result
+        self.checkpoint = checkpoint
+        done = len(result.results)
+        where = (f"; {done} completed point(s) checkpointed to "
+                 f"{checkpoint}" if checkpoint else
+                 " (no checkpoint: completed points are lost; "
+                 "use --resume)")
+        super().__init__(f"sweep interrupted{where}")
+
+
 class PointTimeout(Exception):
     """A point exceeded its per-point timeout inside the worker."""
 
@@ -254,6 +275,8 @@ class SweepResult:
     computed: int = 0
     resumed: int = 0
     retried: int = 0
+    #: True when the sweep was cut short by SIGINT (see SweepInterrupted).
+    interrupted: bool = False
 
     def __getitem__(self, key: str) -> Dict[str, Any]:
         return self.results[key]
@@ -293,6 +316,8 @@ class SweepResult:
             parts.append(f"{self.retried} retried")
         if self.failures:
             parts.append(f"{len(self.failures)} FAILED")
+        if self.interrupted:
+            parts.append("INTERRUPTED")
         return ", ".join(parts)
 
 
@@ -389,12 +414,19 @@ def run_sweep(
             _run_serial(pending, timeout, retries, result, writer, say)
         else:
             _run_pool(pending, jobs, timeout, retries, result, writer, say)
+    except KeyboardInterrupt:
+        # Every completed point was written and fsynced the moment it
+        # finished, so the only work here is closing the handle and
+        # reporting what a rerun will resume.
+        result.interrupted = True
     finally:
         writer.close()
 
     result.results = dict(sorted(result.results.items()))
     result.failures = dict(sorted(result.failures.items()))
     say(result.summary())
+    if result.interrupted:
+        raise SweepInterrupted(result, checkpoint)
     return result
 
 
@@ -533,12 +565,21 @@ def _selftest_runner(spec: Mapping[str, Any]) -> Dict[str, Any]:
             so early attempts fail and a retry succeeds.
         die_marker / die_times: same, but kill the worker process with
             ``os._exit`` — breaking the pool — instead of raising.
+        interrupt_marker / interrupt_times: same, but raise
+            ``KeyboardInterrupt`` — simulating Ctrl-C mid-sweep, the
+            clean-interrupt regression test (no retry: interrupts are
+            a user decision, not a fault).
     """
     marker = spec.get("fail_marker")
     if marker:
         calls = _bump_marker(marker)
         if calls <= int(spec.get("fail_times", 1)):
             raise RuntimeError(f"injected failure #{calls}")
+    marker = spec.get("interrupt_marker")
+    if marker:
+        calls = _bump_marker(marker)
+        if calls <= int(spec.get("interrupt_times", 1)):
+            raise KeyboardInterrupt()
     marker = spec.get("die_marker")
     if marker:
         calls = _bump_marker(marker)

@@ -1,0 +1,272 @@
+"""Deterministic service traffic: Zipf keys, tenant mixes, load ramps.
+
+The `repro serve-bench` driver replays a stream of get/put/delete
+operations against :class:`repro.service.CacheService`.  Everything
+here is a pure function of a :class:`TrafficSpec` — one seeded
+``random.Random`` drives key choice, tenant choice, and op choice, so
+the stream (and therefore every per-tenant ledger downstream of it) is
+bit-reproducible across runs, machines, and shard counts.
+
+Design notes:
+
+* **Zipf popularity** — key ranks are drawn from a truncated Zipf
+  distribution (weight ``1 / rank^s``) via cumulative weights and
+  ``bisect``; ``s≈1`` gives the classic heavy tail where a few pages
+  absorb most references, the regime where a compression cache (and
+  request batching) earns its keep.  Rank → key goes through
+  :func:`repro.service.config.page_key`, so hot ranks scatter uniformly
+  over virtual slots instead of clustering on one shard.
+* **Versioned payloads** — each PUT bumps the key's version, and the
+  page content is a function of ``(tenant, rank, version mod 4)``.
+  Overwrites really change bytes (the store must recompress), but the
+  bounded version cycle keeps the content universe finite so the
+  process-wide kernel-result cache and the contentgen memos stay
+  effective across a long run.
+* **Diurnal ramp** — :func:`diurnal_multiplier` shapes *offered load*
+  (a sinusoid over the run, as in day/night traffic).  It is applied
+  only by the paced server mode; the throughput bench replays flat-out,
+  so the op stream itself never depends on wall-clock time.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+from itertools import accumulate
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..mem.page import DEFAULT_PAGE_SIZE
+from ..service.config import page_key
+from . import contentgen
+
+#: op verbs, matching repro.service.protocol operations one-to-one.
+GET, PUT, DELETE = "get", "put", "delete"
+
+
+@dataclass(frozen=True)
+class TenantTraffic:
+    """One tenant's share of the offered load."""
+
+    name: str
+    #: relative traffic weight (any positive number).
+    weight: float = 1.0
+    #: distinct keys in this tenant's working set.
+    keys: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name}: weight must be > 0")
+        if self.keys < 1:
+            raise ValueError(f"tenant {self.name}: keys must be >= 1")
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Everything that determines the op stream (and nothing else)."""
+
+    ops: int = 10000
+    seed: int = 1234
+    tenants: Tuple[TenantTraffic, ...] = (TenantTraffic("default"),)
+    #: Zipf skew: 0 is uniform, ~1 the classic heavy tail.
+    zipf_s: float = 1.1
+    #: fraction of operations that are GETs.
+    read_fraction: float = 0.7
+    #: fraction of *non-read* operations that are DELETEs.
+    delete_fraction: float = 0.05
+    page_size: int = DEFAULT_PAGE_SIZE
+    #: peak-to-mean amplitude of the diurnal ramp (0 disables).
+    diurnal_amplitude: float = 0.0
+    #: full sine periods over the run.
+    diurnal_periods: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ops < 1:
+            raise ValueError(f"ops must be >= 1: {self.ops}")
+        if not self.tenants:
+            raise ValueError("at least one tenant is required")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if not 0.0 <= self.delete_fraction <= 1.0:
+            raise ValueError("delete_fraction must be in [0, 1]")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be >= 0")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-native form for BENCH_service.json."""
+        return {
+            "ops": self.ops,
+            "seed": self.seed,
+            "tenants": [
+                {"name": t.name, "weight": t.weight, "keys": t.keys}
+                for t in self.tenants
+            ],
+            "zipf_s": self.zipf_s,
+            "read_fraction": self.read_fraction,
+            "delete_fraction": self.delete_fraction,
+            "page_size": self.page_size,
+            "diurnal_amplitude": self.diurnal_amplitude,
+            "diurnal_periods": self.diurnal_periods,
+        }
+
+
+@dataclass(frozen=True)
+class TrafficOp:
+    """One operation; the payload is generated lazily (PUTs only)."""
+
+    op: str
+    tenant: str
+    key: int
+    #: content version (PUTs); bumped on every overwrite of the key.
+    version: int = 0
+    #: (tenant, rank) provenance, kept for payload derivation.
+    rank: int = 0
+
+    def payload(self, spec: TrafficSpec) -> Optional[bytes]:
+        """The page bytes for a PUT (``None`` for GET/DELETE)."""
+        if self.op != PUT:
+            return None
+        return page_payload(
+            self.tenant, self.rank, self.version,
+            spec.seed, spec.page_size,
+        )
+
+
+class ZipfSampler:
+    """Truncated Zipf(s) over ranks ``0..n-1`` via cumulative weights.
+
+    ``sample`` costs one uniform draw and one ``bisect`` — O(log n) —
+    and depends only on the supplied ``random.Random``, keeping the op
+    stream reproducible.
+    """
+
+    __slots__ = ("_cumulative", "_total")
+
+    def __init__(self, n: int, s: float):
+        weights = [1.0 / (rank ** s) for rank in range(1, n + 1)]
+        self._cumulative = list(accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect_right(self._cumulative, rng.random() * self._total)
+
+
+#: page content families, chosen per key; mirrors the simulator's mix
+#: of text, index, table, and incompressible pages.
+_CONTENT_KINDS = (
+    "pattern", "dp_band", "index", "cache_table", "incompressible",
+)
+
+
+def page_payload(tenant: str, rank: int, version: int, seed: int,
+                 page_size: int = DEFAULT_PAGE_SIZE) -> bytes:
+    """The page stored for ``(tenant, rank)`` at a content version.
+
+    A pure function: replaying the same spec regenerates identical
+    bytes.  The version is folded mod 4 so overwrite cycles revisit
+    content the generator memos (and the shared kernel-result cache)
+    have already paid for.
+    """
+    ident = page_key(f"{tenant}:{rank}")
+    kind = _CONTENT_KINDS[ident % len(_CONTENT_KINDS)]
+    page_number = (ident >> 3) ^ ((version & 3) << 40)
+    if kind == "pattern":
+        return contentgen.repeating_pattern(
+            page_number, seed=seed, page_size=page_size
+        )
+    if kind == "dp_band":
+        return contentgen.dp_band_values(
+            page_number, seed=seed, page_size=page_size
+        )
+    if kind == "index":
+        return contentgen.index_page(
+            page_number, seed=seed, page_size=page_size
+        )
+    if kind == "cache_table":
+        return contentgen.cache_table_page(
+            page_number, seed=seed, page_size=page_size
+        )
+    return contentgen.incompressible(
+        page_number, seed=seed, page_size=page_size
+    )
+
+
+def generate_ops(spec: TrafficSpec) -> Iterator[TrafficOp]:
+    """The canonical op stream: one seeded stream, in offered order.
+
+    GETs against never-written keys are legitimate cold misses.  PUT
+    versions count per ``(tenant, rank)``, so an overwrite always
+    changes content relative to what is resident.
+    """
+    rng = random.Random(spec.seed)
+    tenant_cum = list(accumulate(t.weight for t in spec.tenants))
+    tenant_total = tenant_cum[-1]
+    samplers = [ZipfSampler(t.keys, spec.zipf_s) for t in spec.tenants]
+    versions: Dict[Tuple[int, int], int] = {}
+    for _ in range(spec.ops):
+        tindex = bisect_right(tenant_cum, rng.random() * tenant_total)
+        tenant = spec.tenants[tindex]
+        rank = samplers[tindex].sample(rng)
+        key = page_key(f"{tenant.name}:{rank}")
+        draw = rng.random()
+        if draw < spec.read_fraction:
+            yield TrafficOp(GET, tenant.name, key, rank=rank)
+        elif rng.random() < spec.delete_fraction:
+            yield TrafficOp(DELETE, tenant.name, key, rank=rank)
+        else:
+            version = versions.get((tindex, rank), -1) + 1
+            versions[(tindex, rank)] = version
+            yield TrafficOp(
+                PUT, tenant.name, key, version=version, rank=rank
+            )
+
+
+def partition_by_vslot(
+    ops: Sequence[TrafficOp],
+    vslots: int,
+    clients: int,
+) -> List[List[TrafficOp]]:
+    """Split the stream into per-client queues along vslot boundaries.
+
+    All operations on one virtual slot land in the same queue, in
+    stream order.  Each client replays its queue sequentially (awaiting
+    each op), so the per-slot op order the shards observe equals the
+    stream order for *any* shard count and any concurrency — the
+    client-side half of the determinism contract.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1: {clients}")
+    queues: List[List[TrafficOp]] = [[] for _ in range(clients)]
+    for op in ops:
+        queues[(op.key % vslots) % clients].append(op)
+    return queues
+
+
+def diurnal_multiplier(progress: float, amplitude: float,
+                       periods: float = 1.0) -> float:
+    """Offered-load multiplier at a point in the run (``progress`` in
+    [0, 1]).  Mean 1.0; peak ``1 + amplitude``; trough ``1 - amplitude``.
+    """
+    if amplitude <= 0:
+        return 1.0
+    return 1.0 + amplitude * math.sin(2.0 * math.pi * periods * progress)
+
+
+def tenant_weights_from_spec(spec: str) -> Dict[str, float]:
+    """Traffic weights from the CLI grammar ``name[=quota][:weight]``.
+
+    The quota part belongs to :func:`repro.service.config.tenants_from_spec`;
+    this companion extracts the weights (default 1.0).
+    """
+    weights: Dict[str, float] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, _, weight = item.partition(":")
+        name = name.split("=", 1)[0]
+        weights[name] = float(weight) if weight else 1.0
+    return weights

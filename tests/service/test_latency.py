@@ -1,0 +1,103 @@
+"""LatencyRecorder: error bound vs exact percentiles, merging, snapshots."""
+
+import random
+
+import pytest
+
+from repro.service.latency import (
+    _SUB_BITS,
+    LatencyRecorder,
+    _bucket_index,
+    _bucket_upper_bound,
+    merge_all,
+)
+
+#: Recorded percentiles may exceed the exact sample by at most one
+#: bucket width: a factor of 2**-_SUB_BITS of the value (~3.1%).
+MAX_REL_ERROR = 2.0 ** -_SUB_BITS
+
+
+def exact_percentile(samples, p):
+    ordered = sorted(samples)
+    rank = max(1, int(len(ordered) * p / 100.0 + 0.5))
+    return ordered[rank - 1]
+
+
+class TestBuckets:
+    def test_small_values_are_exact(self):
+        for value in range(0, 1 << _SUB_BITS):
+            assert _bucket_upper_bound(_bucket_index(value)) == value
+
+    def test_upper_bound_brackets_value(self):
+        for value in [33, 100, 1000, 4097, 10**6, 2**40 + 12345]:
+            index = _bucket_index(value)
+            upper = _bucket_upper_bound(index)
+            assert upper >= value
+            assert upper - value <= value * MAX_REL_ERROR
+
+    def test_buckets_are_monotonic(self):
+        previous = -1
+        for value in range(0, 5000):
+            index = _bucket_index(value)
+            assert index >= previous
+            previous = index
+
+
+class TestLatencyRecorder:
+    def test_percentiles_within_error_bound(self):
+        rng = random.Random(7)
+        # Heavy-tailed: most samples small, a few very large — the shape
+        # the recorder exists to summarise.
+        samples = [int(rng.paretovariate(1.3) * 50) + 1
+                   for _ in range(20000)]
+        recorder = LatencyRecorder.of(samples)
+        assert recorder.count == len(samples)
+        for p in (50.0, 95.0, 99.0, 99.9):
+            exact = exact_percentile(samples, p)
+            got = recorder.percentile(p)
+            # Upper-bound convention: never understates the tail, and
+            # overstates it by at most one bucket width.
+            assert got >= exact * (1.0 - 1e-9)
+            assert got <= exact * (1.0 + MAX_REL_ERROR) + 1
+
+    def test_max_caps_the_top_percentile(self):
+        recorder = LatencyRecorder.of([10, 20, 1_000_000])
+        assert recorder.percentile(100.0) == 1_000_000
+
+    def test_mean_is_exact(self):
+        recorder = LatencyRecorder.of([1, 2, 3, 4])
+        assert recorder.mean == 2.5
+
+    def test_empty_recorder(self):
+        recorder = LatencyRecorder()
+        assert recorder.percentile(99.0) == 0
+        assert recorder.mean == 0.0
+        snap = recorder.snapshot()
+        assert snap["count"] == 0
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1)
+
+    def test_rejects_out_of_range_percentile(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder.of([1]).percentile(101.0)
+
+    def test_merge_equals_recording_together(self):
+        rng = random.Random(11)
+        a = [rng.randrange(1, 100000) for _ in range(5000)]
+        b = [rng.randrange(1, 100000) for _ in range(5000)]
+        merged = merge_all([LatencyRecorder.of(a), LatencyRecorder.of(b)])
+        combined = LatencyRecorder.of(a + b)
+        assert merged.count == combined.count
+        assert merged.total == combined.total
+        assert merged.max_value == combined.max_value
+        for p in (50.0, 95.0, 99.0, 99.9):
+            assert merged.percentile(p) == combined.percentile(p)
+
+    def test_snapshot_keys(self):
+        snap = LatencyRecorder.of(range(1, 1001)).snapshot()
+        assert set(snap) == {"count", "mean", "max",
+                             "p50", "p95", "p99", "p999"}
+        assert snap["p50"] <= snap["p95"] <= snap["p99"] <= snap["p999"]
+        assert snap["p999"] <= snap["max"]

@@ -1,0 +1,65 @@
+"""Ledger merge: commutativity, canonical form, digest stability."""
+
+import pytest
+
+from repro.service.ledger import (
+    COUNTERS,
+    TenantLedger,
+    ledger_digest,
+    merge_ledgers,
+)
+
+
+def ledger_dict(**counts):
+    base = dict.fromkeys(COUNTERS, 0)
+    base["resident_bytes"] = 0
+    base["resident_entries"] = 0
+    base.update(counts)
+    return base
+
+
+class TestTenantLedger:
+    def test_round_trip(self):
+        ledger = TenantLedger()
+        ledger.bump("gets")
+        ledger.bump("stored_bytes", 123)
+        ledger.resident_bytes = 7
+        again = TenantLedger.from_dict(ledger.as_dict())
+        assert again.as_dict() == ledger.as_dict()
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(ValueError):
+            TenantLedger.from_dict({"bogus": 1})
+
+    def test_as_dict_schema_is_fixed(self):
+        keys = list(TenantLedger().as_dict())
+        assert keys == list(COUNTERS) + [
+            "resident_bytes", "resident_entries"
+        ]
+
+
+class TestMerge:
+    def test_merge_is_order_independent(self):
+        parts = [
+            {"alpha": ledger_dict(gets=3, hits=1)},
+            {"alpha": ledger_dict(gets=2, misses=2),
+             "beta": ledger_dict(puts=5)},
+            {"beta": ledger_dict(puts=1, stored_bytes=64)},
+        ]
+        forward = merge_ledgers(parts)
+        backward = merge_ledgers(reversed(parts))
+        assert forward == backward
+        assert forward["alpha"]["gets"] == 5
+        assert forward["beta"]["puts"] == 6
+        assert ledger_digest(forward) == ledger_digest(backward)
+
+    def test_tenants_sorted_in_canonical_form(self):
+        merged = merge_ledgers([
+            {"zeta": ledger_dict()}, {"alpha": ledger_dict()}
+        ])
+        assert list(merged) == ["alpha", "zeta"]
+
+    def test_digest_sensitive_to_any_counter(self):
+        a = merge_ledgers([{"t": ledger_dict(gets=1)}])
+        b = merge_ledgers([{"t": ledger_dict(gets=2)}])
+        assert ledger_digest(a) != ledger_digest(b)

@@ -1,0 +1,153 @@
+"""VslotStore: tiering, promotion, quotas — with byte-exact capacities.
+
+These tests use the ``null`` kernel (stored size == page size) on a
+single-vslot geometry, so every capacity decision is arithmetic the test
+can predict: warm tier holds exactly 3 pages, cold tier exactly 2.
+"""
+
+from repro.service.config import ServiceConfig, TenantSpec
+from repro.service.store import VslotStore
+
+PAGE = 64
+WARM_PAGES = 3
+COLD_PAGES = 2
+
+
+def make_store(tenants=(TenantSpec("t"),), tiers=(WARM_PAGES, COLD_PAGES)):
+    config = ServiceConfig(
+        shards=1,
+        vslots=1,
+        tenants=tuple(tenants),
+        tier_bytes=tuple(n * PAGE for n in tiers),
+        compressor="null",
+        page_size=PAGE,
+    )
+    return VslotStore(config, vslot=0)
+
+
+def page(tag: int) -> bytes:
+    return bytes([tag & 0xFF]) * PAGE
+
+
+class TestBasicOps:
+    def test_put_get_round_trip(self):
+        store = make_store()
+        assert store.put(0, key=1, page=page(1))
+        assert store.get(0, key=1) == page(1)
+        ledger = store.ledger(0).as_dict()
+        assert ledger["puts"] == ledger["stores"] == 1
+        assert ledger["gets"] == ledger["hits"] == 1
+        assert ledger["stored_bytes"] == PAGE
+
+    def test_miss(self):
+        store = make_store()
+        assert store.get(0, key=99) is None
+        assert store.ledger(0).as_dict()["misses"] == 1
+
+    def test_replacement_keeps_one_resident_copy(self):
+        store = make_store()
+        store.put(0, key=1, page=page(1))
+        store.put(0, key=1, page=page(2))
+        assert store.resident_entries() == 1
+        assert store.resident_bytes() == PAGE
+        assert store.get(0, key=1) == page(2)
+        assert store.ledger(0).resident_bytes == PAGE
+
+    def test_delete_and_delete_miss(self):
+        store = make_store()
+        store.put(0, key=1, page=page(1))
+        assert store.delete(0, key=1)
+        assert not store.delete(0, key=1)
+        assert store.get(0, key=1) is None
+        ledger = store.ledger(0).as_dict()
+        assert ledger["deletes"] == 1
+        assert ledger["delete_misses"] == 1
+        assert store.resident_entries() == 0
+        assert store.ledger(0).resident_bytes == 0
+
+
+class TestTiering:
+    def test_warm_overflow_demotes_lru(self):
+        store = make_store()
+        for key in (1, 2, 3, 4):  # warm holds 3; key 1 demotes
+            store.put(0, key=key, page=page(key))
+        assert store.ledger(0).as_dict()["demotions"] == 1
+        assert 1 in store.tiers[1]
+        assert 1 not in store.tiers[0]
+        assert store.resident_entries() == 4
+
+    def test_cold_hit_promotes(self):
+        store = make_store()
+        for key in (1, 2, 3, 4):
+            store.put(0, key=key, page=page(key))
+        assert store.get(0, key=1) == page(1)  # cold hit
+        ledger = store.ledger(0).as_dict()
+        assert ledger["cold_hits"] == 1
+        assert 1 in store.tiers[0]
+        # Promotion made room by demoting the warm LRU (key 2).
+        assert ledger["demotions"] == 2
+        assert 2 in store.tiers[1]
+        # Promotion moves, never duplicates: accounting is unchanged.
+        assert store.resident_entries() == 4
+        assert store.resident_bytes() == 4 * PAGE
+
+    def test_coldest_overflow_evicts(self):
+        store = make_store()
+        for key in range(1, 7):  # capacity is 5 pages total
+            store.put(0, key=key, page=page(key))
+        ledger = store.ledger(0).as_dict()
+        assert ledger["evictions"] == 1
+        assert store.resident_entries() == 5
+        assert store.get(0, key=1) is None  # the eviction victim
+        assert store.ledger(0).resident_bytes == 5 * PAGE
+
+
+class TestQuota:
+    def test_oversized_put_denied(self):
+        store = make_store(tenants=(TenantSpec("t", quota_bytes=PAGE // 2),))
+        assert not store.put(0, key=1, page=page(1))
+        ledger = store.ledger(0).as_dict()
+        assert ledger["quota_denials"] == 1
+        assert ledger["stores"] == 0
+        assert store.resident_entries() == 0
+
+    def test_quota_evicts_own_coldest_first(self):
+        store = make_store(
+            tenants=(TenantSpec("t", quota_bytes=2 * PAGE),)
+        )
+        store.put(0, key=1, page=page(1))
+        store.put(0, key=2, page=page(2))
+        store.put(0, key=3, page=page(3))  # over quota: key 1 goes
+        ledger = store.ledger(0).as_dict()
+        assert ledger["quota_evictions"] == 1
+        assert store.get(0, key=1) is None
+        assert store.get(0, key=2) == page(2)
+        assert store.ledger(0).resident_bytes == 2 * PAGE
+
+    def test_quota_does_not_touch_other_tenants(self):
+        store = make_store(
+            tenants=(TenantSpec("a", quota_bytes=PAGE), TenantSpec("b"))
+        )
+        store.put(1, key=100, page=page(9))
+        store.put(0, key=1, page=page(1))
+        store.put(0, key=2, page=page(2))  # evicts a's key 1 only
+        assert store.ledger(0).as_dict()["quota_evictions"] == 1
+        assert store.get(1, key=100) == page(9)
+        assert store.ledger(1).as_dict()["quota_evictions"] == 0
+
+    def test_replacing_under_quota_is_not_an_eviction(self):
+        store = make_store(tenants=(TenantSpec("t", quota_bytes=PAGE),))
+        store.put(0, key=1, page=page(1))
+        assert store.put(0, key=1, page=page(2))
+        assert store.ledger(0).as_dict()["quota_evictions"] == 0
+        assert store.get(0, key=1) == page(2)
+
+
+class TestReporting:
+    def test_ledgers_by_name(self):
+        store = make_store(tenants=(TenantSpec("a"), TenantSpec("b")))
+        store.put(0, key=1, page=page(1))
+        store.get(1, key=2)
+        by_name = store.ledgers_by_name()
+        assert by_name["a"]["stores"] == 1
+        assert by_name["b"]["misses"] == 1

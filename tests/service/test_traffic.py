@@ -1,0 +1,157 @@
+"""Traffic generator: determinism, Zipf skew, versioning, partitioning."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.service.config import page_key
+from repro.workloads.traffic import (
+    DELETE,
+    GET,
+    PUT,
+    TenantTraffic,
+    TrafficSpec,
+    ZipfSampler,
+    diurnal_multiplier,
+    generate_ops,
+    page_payload,
+    partition_by_vslot,
+    tenant_weights_from_spec,
+)
+
+TWO_TENANTS = (
+    TenantTraffic("alpha", weight=3.0, keys=500),
+    TenantTraffic("beta", weight=1.0, keys=200),
+)
+
+
+def spec(**overrides):
+    defaults = dict(ops=4000, seed=42, tenants=TWO_TENANTS,
+                    page_size=1024)
+    defaults.update(overrides)
+    return TrafficSpec(**defaults)
+
+
+class TestDeterminism:
+    def test_same_spec_same_stream(self):
+        assert list(generate_ops(spec())) == list(generate_ops(spec()))
+
+    def test_seed_changes_stream(self):
+        assert (list(generate_ops(spec()))
+                != list(generate_ops(spec(seed=43))))
+
+    def test_payloads_are_pure_functions(self):
+        one = page_payload("alpha", 3, 1, seed=42, page_size=1024)
+        two = page_payload("alpha", 3, 1, seed=42, page_size=1024)
+        assert one == two
+        assert len(one) == 1024
+
+
+class TestStreamShape:
+    def test_op_mix_tracks_fractions(self):
+        ops = list(generate_ops(spec(ops=20000, read_fraction=0.7,
+                                     delete_fraction=0.1)))
+        mix = Counter(op.op for op in ops)
+        assert abs(mix[GET] / len(ops) - 0.7) < 0.03
+        # deletes are a fraction of the non-read 30%.
+        assert abs(mix[DELETE] / len(ops) - 0.03) < 0.01
+        assert mix[PUT] == len(ops) - mix[GET] - mix[DELETE]
+
+    def test_tenant_mix_tracks_weights(self):
+        ops = list(generate_ops(spec(ops=20000)))
+        mix = Counter(op.tenant for op in ops)
+        assert abs(mix["alpha"] / len(ops) - 0.75) < 0.03
+
+    def test_zipf_head_dominates(self):
+        sampler = ZipfSampler(1000, s=1.1)
+        rng = random.Random(7)
+        draws = Counter(sampler.sample(rng) for _ in range(20000))
+        top10 = sum(draws[rank] for rank in range(10))
+        assert top10 / 20000 > 0.4
+        assert draws[0] > draws[99] > 0
+
+    def test_zipf_zero_is_roughly_uniform(self):
+        sampler = ZipfSampler(10, s=0.0)
+        rng = random.Random(7)
+        draws = Counter(sampler.sample(rng) for _ in range(20000))
+        assert max(draws.values()) / min(draws.values()) < 1.3
+
+    def test_keys_are_stable_hashes_of_tenant_and_rank(self):
+        for op in list(generate_ops(spec(ops=200))):
+            assert op.key == page_key(f"{op.tenant}:{op.rank}")
+
+
+class TestVersioning:
+    def test_put_versions_count_per_key(self):
+        ops = [op for op in generate_ops(spec(ops=20000))
+               if op.op == PUT]
+        seen = {}
+        for op in ops:
+            expected = seen.get((op.tenant, op.rank), -1) + 1
+            assert op.version == expected
+            seen[(op.tenant, op.rank)] = op.version
+        assert any(op.version > 0 for op in ops)  # overwrites happen
+
+    def test_versions_change_content_and_cycle_mod_4(self):
+        pages = [page_payload("alpha", 1, v, seed=42, page_size=1024)
+                 for v in range(6)]
+        assert pages[0] != pages[1]
+        assert pages[0] == pages[4]  # version folded mod 4
+        assert pages[1] == pages[5]
+
+    def test_get_and_delete_have_no_payload(self):
+        s = spec()
+        for op in generate_ops(s):
+            if op.op != PUT:
+                assert op.payload(s) is None
+
+
+class TestPartitioning:
+    def test_partition_preserves_order_and_coverage(self):
+        ops = list(generate_ops(spec()))
+        queues = partition_by_vslot(ops, vslots=64, clients=8)
+        assert sum(len(q) for q in queues) == len(ops)
+        # Per-queue order is stream order.
+        position = {id(op): i for i, op in enumerate(ops)}
+        for queue in queues:
+            indices = [position[id(op)] for op in queue]
+            assert indices == sorted(indices)
+
+    def test_one_vslot_never_splits_across_clients(self):
+        ops = list(generate_ops(spec()))
+        queues = partition_by_vslot(ops, vslots=64, clients=8)
+        owner = {}
+        for client, queue in enumerate(queues):
+            for op in queue:
+                vslot = op.key % 64
+                assert owner.setdefault(vslot, client) == client
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ValueError):
+            partition_by_vslot([], vslots=64, clients=0)
+
+
+class TestDiurnal:
+    def test_mean_one_peak_and_trough(self):
+        assert diurnal_multiplier(0.0, 0.5) == 1.0
+        assert math.isclose(diurnal_multiplier(0.25, 0.5), 1.5)
+        assert math.isclose(diurnal_multiplier(0.75, 0.5), 0.5)
+        assert diurnal_multiplier(0.4, 0.0) == 1.0
+
+    def test_amplitude_validated(self):
+        with pytest.raises(ValueError):
+            spec(diurnal_amplitude=1.0)
+
+
+class TestCliGrammar:
+    def test_weights_parse(self):
+        weights = tenant_weights_from_spec("alpha=4:3,beta:0.5,gamma")
+        assert weights == {"alpha": 3.0, "beta": 0.5, "gamma": 1.0}
+
+    def test_traffic_validation(self):
+        with pytest.raises(ValueError):
+            TenantTraffic("t", weight=0.0)
+        with pytest.raises(ValueError):
+            TrafficSpec(ops=0)

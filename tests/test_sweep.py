@@ -2,6 +2,12 @@
 tolerance (see docs/sweep.md)."""
 
 import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
@@ -15,6 +21,7 @@ from repro.experiments import (
 from repro.sweep import (
     SELFTEST_RUNNER,
     SweepError,
+    SweepInterrupted,
     SweepPoint,
     load_checkpoint,
     run_sweep,
@@ -189,6 +196,118 @@ class TestCheckpoint:
             assert record["elapsed_s"] >= 0
         loaded = load_checkpoint(ck)
         assert set(loaded) == {"selftest/0000", "selftest/0001"}
+
+
+#: Driver for the SIGINT regression test: a slow sweep the parent can
+#: interrupt mid-run, exiting 130 the way the CLI does.
+_SIGINT_DRIVER = """\
+import sys
+from repro.sweep import SweepInterrupted, run_sweep, selftest_points
+
+points = selftest_points(10, extra={"sleep_s": 0.2})
+try:
+    run_sweep(points, jobs=1, checkpoint=sys.argv[1])
+except SweepInterrupted as exc:
+    print(f"interrupted; {len(exc.result.results)} checkpointed",
+          flush=True)
+    sys.exit(130)
+sys.exit(0)
+"""
+
+
+class TestInterrupt:
+    """Ctrl-C flushes the checkpoint and surfaces as SweepInterrupted,
+    so an interrupted sweep resumes instead of restarting."""
+
+    def test_interrupt_raises_with_partial_result(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        marker = tmp_path / "interrupts"
+        points = selftest_points(6)
+        # Point 3 raises KeyboardInterrupt (once) — Ctrl-C mid-sweep.
+        points[3] = SweepPoint(
+            SELFTEST_RUNNER,
+            {"value": 3, "interrupt_marker": str(marker)},
+            key=points[3].key,
+        )
+        with pytest.raises(SweepInterrupted) as info:
+            run_sweep(points, checkpoint=str(ck))
+        exc = info.value
+        assert exc.result.interrupted
+        assert str(exc.checkpoint) == str(ck)
+        assert "3" in str(exc)  # the resume hint counts completed points
+        # The completed prefix reached disk before the exception.
+        assert len(load_checkpoint(ck)) == 3
+
+    def test_interrupted_checkpoint_resumes_cleanly(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        marker = tmp_path / "interrupts"
+        points = selftest_points(6)
+        points[3] = SweepPoint(
+            SELFTEST_RUNNER,
+            {"value": 3, "interrupt_marker": str(marker)},
+            key=points[3].key,
+        )
+        with pytest.raises(SweepInterrupted):
+            run_sweep(points, checkpoint=str(ck))
+        # Rerun: the marker already fired, so the sweep completes,
+        # resuming the checkpointed prefix without recomputing it.
+        result = run_sweep(points, checkpoint=str(ck))
+        assert result.resumed == 3 and result.computed == 3
+        assert not result.failures and not result.interrupted
+
+    def test_interrupt_without_checkpoint_keeps_partial_in_memory(
+        self, tmp_path
+    ):
+        marker = tmp_path / "interrupts"
+        points = selftest_points(4)
+        points[2] = SweepPoint(
+            SELFTEST_RUNNER,
+            {"value": 2, "interrupt_marker": str(marker)},
+            key=points[2].key,
+        )
+        with pytest.raises(SweepInterrupted) as info:
+            run_sweep(points)
+        assert len(info.value.result.results) == 2
+        assert info.value.checkpoint is None
+        assert "no checkpoint" in str(info.value).lower()
+
+    def test_sigint_mid_sweep_flushes_and_exits_130(self, tmp_path):
+        """A real SIGINT against a live process: the completed prefix
+        must be on disk and an in-process rerun must resume it."""
+        ck = tmp_path / "sweep.jsonl"
+        driver = tmp_path / "driver.py"
+        driver.write_text(_SIGINT_DRIVER)
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parent.parent / "src"
+        env["PYTHONPATH"] = str(src)
+        proc = subprocess.Popen(
+            [sys.executable, str(driver), str(ck)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                if ck.exists() and len(ck.read_text().splitlines()) >= 2:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("sweep never checkpointed a point")
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130, (out, err)
+        assert "interrupted" in out
+        done = load_checkpoint(ck)
+        assert 2 <= len(done) < 10
+        # Resume finishes only the remainder.
+        points = selftest_points(10, extra={"sleep_s": 0.2})
+        result = run_sweep(points, checkpoint=str(ck))
+        assert result.resumed == len(done)
+        assert result.computed == 10 - len(done)
 
 
 class TestExperimentSweeps:
