@@ -10,7 +10,7 @@ Usage::
     compression-cache figure3 [--scale 0.2] [--mode rw|ro|both] [--jobs N]
     compression-cache table1 [--scale 0.2] [--rows compare,isca] [--jobs N]
     compression-cache sweep  [--experiment figure3|table1|ablations|
-                              tiers|kernels]
+                              tiers|kernels|lfs]
                              [--jobs N] [--resume path.jsonl] [--timeout s]
     compression-cache demo   [--scale 0.2]
     compression-cache perf   [--quick] [--skip-sim] [--check baseline.json]
@@ -140,6 +140,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"run: bad --tiers spec {args.tiers!r}: {exc}",
                   file=sys.stderr)
             return 2
+    store_changes = {}
+    if args.store != "frag" or args.store_sync or args.kill:
+        from .storage.logstore import LogStoreConfig, parse_kill_spec
+
+        if args.kill:
+            if args.store != "lfs":
+                print("run: --kill requires --store lfs", file=sys.stderr)
+                return 2
+            try:
+                parse_kill_spec(args.kill)
+            except ValueError as exc:
+                print(f"run: bad --kill spec {args.kill!r}: {exc}",
+                      file=sys.stderr)
+                return 2
+        store_changes = {
+            "store": args.store,
+            "log_store": LogStoreConfig(
+                sync_appends=args.store_sync,
+                kill=args.kill or None,
+            ),
+        }
     workload = factory(args.scale)
     config = MachineConfig(
         memory_bytes=mbytes(args.memory_mb * args.scale),
@@ -147,6 +168,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fault_plan=plan,
         paranoid=args.paranoid,
         tiers=tiers,
+        **store_changes,
     )
     machine = Machine(config, workload.build())
     result = run_workload(machine, workload.references(), drain=args.drain)
@@ -211,6 +233,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ablation_points,
         figure3_points,
         kernels_points,
+        lfs_points,
         table1_points,
         tiers_points,
     )
@@ -230,6 +253,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         points = tiers_points(args.scale)
     elif args.experiment == "kernels":
         points = kernels_points(args.scale)
+    elif args.experiment == "lfs":
+        points = lfs_points(args.scale)
     else:  # ablations
         points = ablation_points(args.scale)
     sweep = run_sweep(
@@ -255,6 +280,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from .experiments import render_kernels
 
         print(render_kernels(sweep.results))
+    elif args.experiment == "lfs":
+        from .experiments import render_lfs
+
+        print(render_lfs(sweep.results))
     print(sweep.summary())
     return 0
 
@@ -347,7 +376,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await service.start()
         try:
             server, stopped = await serve_tcp(
-                service, host=args.host, port=args.port
+                service, host=args.host, port=args.port,
+                idle_timeout=args.idle_timeout or None,
             )
             host, port = server.sockets[0].getsockname()[:2]
             print(f"serving {config.shards} shard(s), "
@@ -674,6 +704,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "comma-separated compressor[:max_frames"
                           "[:compress_scale]] items (0 frames = uncapped), "
                           "or the 'two-tier' preset; see docs/tiers.md")
+    run.add_argument("--store", choices=("frag", "lfs"), default="frag",
+                     help="compressed-page backing store: the paper's "
+                          "fragment store or the crash-consistent "
+                          "log-structured store (see docs/lfs.md)")
+    run.add_argument("--store-sync", action="store_true",
+                     help="lfs only: make every append durable on "
+                          "acknowledge (one device write per operation)")
+    run.add_argument("--kill", default="", metavar="SITE:N[:FRAC]",
+                     help="lfs only: simulate a crash at the N-th "
+                          "consult of SITE (append, clean, checkpoint), "
+                          "leaving FRAC of the in-flight write; the run "
+                          "recovers and continues (see docs/faults.md)")
     run.add_argument("--digest", action="store_true",
                      help="print only a sha256 of the full result (the "
                           "chaos determinism check)")
@@ -708,7 +750,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--experiment",
                        choices=("figure3", "table1", "ablations", "tiers",
-                                "kernels"),
+                                "kernels", "lfs"),
                        default="figure3")
     sweep.add_argument("--scale", type=float, default=0.2)
     sweep.add_argument("--mode", choices=("rw", "ro", "both"),
@@ -778,6 +820,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-pending", type=int, default=1024,
                        help="per-shard queued+in-flight bound "
                             "(backpressure beyond it)")
+    serve.add_argument("--idle-timeout", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="close connections idle for this long "
+                            "between frames (0 = never)")
     add_service_options(serve)
 
     sbench = sub.add_parser(

@@ -529,18 +529,24 @@ def config_from_spec(spec: Mapping[str, Any]) -> MachineConfig:
     ``filesystem``, ``partial_write_policy`` (enum value string),
     ``fragment_size``, ``batch_bytes``, ``allow_spanning``, ``biases``
     (three-weight mapping), ``costs`` (``"base"``, ``"hardware"`` or
-    ``["cpu", factor]``), ``vm_architecture``, and ``tiers`` (a
-    :func:`repro.tiers.spec.parse_tier_specs` string).
+    ``["cpu", factor]``), ``vm_architecture``, ``tiers`` (a
+    :func:`repro.tiers.spec.parse_tier_specs` string), ``store``
+    (``"frag"`` or ``"lfs"``), and ``log_store`` (a mapping of
+    :class:`repro.storage.logstore.LogStoreConfig` field overrides).
     """
     changes: Dict[str, Any] = {}
     passthrough = (
         "memory_bytes", "compressor", "device", "filesystem",
         "fragment_size", "batch_bytes", "allow_spanning",
-        "vm_architecture",
+        "vm_architecture", "store",
     )
     for name in passthrough:
         if name in spec:
             changes[name] = spec[name]
+    if "log_store" in spec:
+        from .storage.logstore import LogStoreConfig
+
+        changes["log_store"] = LogStoreConfig(**spec["log_store"])
     if "partial_write_policy" in spec:
         changes["partial_write_policy"] = PartialWritePolicy(
             spec["partial_write_policy"]
@@ -1100,3 +1106,148 @@ def render_kernels(cells: Mapping[str, Mapping[str, Any]]) -> str:
             f"{best} {singles[best] * 100:.2f}% on aggregate stored bytes"
         )
     return block
+
+
+# ----------------------------------------------------------------------
+# Log-structured backing store: sequential-append win by device era
+# ----------------------------------------------------------------------
+#
+# The log-structured store converts the fragment store's scattered
+# fragment writes into batched sequential segment appends, the classic
+# Rosenblum/Ousterhout trade: pay cleaner copies to buy streaming
+# writes.  On the paper's RZ57 (where a random write eats a seek plus
+# half a rotation) that trade should win outright; on a modern SSD the
+# rotational window vanishes and the advantage should shrink toward
+# per-op overhead amortization.  This sweep measures both regimes.
+
+#: Import path of the lfs-comparison runner (see ``repro.sweep``).
+LFS_RUNNER = "repro.experiments:run_lfs_point"
+
+#: The device presets the comparison sweeps (column order).
+LFS_DEVICES: Tuple[str, ...] = ("rz57", "modern-ssd")
+
+#: The store configurations compared per device: the fragment store as
+#: the seed baseline, then the log-structured store in durable-per-
+#: record mode (every append is its own device write, as the crash
+#: harness forces) and in batched mode (32-KByte write-outs).  The
+#: ``lfs-sync`` / ``lfs-batch`` ratio is the sequential-append win of
+#: batching; it should be large on the RZ57 (each small write eats a
+#: seek-plus-rotation latency) and near 1 on the SSD (no rotational
+#: window to amortize).
+LFS_MODES: Tuple[str, ...] = ("frag", "lfs-sync", "lfs-batch")
+
+#: The lfs sweep's store geometry: 32-KByte segments, a log sized well
+#: past the working sets so cleaning is policy-driven rather than
+#: space-panic-driven.
+LFS_STORE_SPEC: Mapping[str, Any] = {
+    "segment_bytes": 32768,
+    "total_segments": 2048,
+}
+
+
+def run_lfs_point(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    """Sweep runner: one (device, store, workload) cell.
+
+    Spec: ``{"config": {...}, "workload": {...}}`` per the decoders
+    above; ``config["store"]`` selects the backing store and
+    ``config["device"]`` the device era.  Reports elapsed virtual time
+    and the store's write/cleaning traffic (field names differ between
+    the two stores; the common ones are normalized).
+    """
+    config = config_from_spec(spec["config"])
+    workload = workload_from_spec(spec["workload"])
+    machine = Machine(config, workload.build())
+    result = SimulationEngine(machine).run(workload.references())
+    counters = machine.fragstore.counters.snapshot()
+    out: Dict[str, Any] = {
+        "elapsed_seconds": result.elapsed_seconds,
+        "faults_total": result.metrics_snapshot["faults"]["total"],
+        "pages_put": counters["pages_put"],
+        "batch_flushes": counters["batch_flushes"],
+        "store_counters": counters,
+    }
+    if spec["config"].get("store") == "lfs":
+        out["segments_cleaned"] = counters["segments_cleaned"]
+        out["cleaner_copied_bytes"] = counters["cleaner_copied_bytes"]
+        out["appended_bytes"] = counters["appended_bytes"]
+    return out
+
+
+def lfs_points(scale: float) -> List[SweepPoint]:
+    """The (device x store x workload) grid for ``sweep --experiment lfs``."""
+    memory = mbytes(6 * scale)
+    workloads: Dict[str, Mapping[str, Any]] = {
+        "thrasher": {
+            "kind": "thrasher",
+            "working_set_bytes": int(memory * 2),
+            "cycles": 3,
+            "write": True,
+        },
+        "gold-warm": {
+            "kind": "gold",
+            "mode": "warm",
+            "index_bytes": mbytes(30 * scale),
+            "operations": max(30, int(8000 * scale)),
+            "hot_fraction": 0.3,
+            "hot_probability": 0.8,
+        },
+    }
+    points: List[SweepPoint] = []
+    for wname, workload in workloads.items():
+        for device in LFS_DEVICES:
+            for mode in LFS_MODES:
+                config: Dict[str, Any] = {
+                    "memory_bytes": memory,
+                    "device": device,
+                    "store": "frag" if mode == "frag" else "lfs",
+                }
+                if mode != "frag":
+                    config["log_store"] = dict(
+                        LFS_STORE_SPEC,
+                        sync_appends=(mode == "lfs-sync"),
+                    )
+                points.append(SweepPoint(
+                    runner=LFS_RUNNER,
+                    spec={"config": config, "workload": dict(workload)},
+                    key=f"lfs/{device}/{mode}/{wname}",
+                ))
+    return points
+
+
+def render_lfs(cells: Mapping[str, Mapping[str, Any]]) -> str:
+    """The store-comparison table, from completed cell results by key.
+
+    Tolerates partial grids: missing cells render as ``-`` and their
+    speedup column stays blank.
+    """
+    rows = []
+    workloads = ("thrasher", "gold-warm")
+    for wname in workloads:
+        for device in LFS_DEVICES:
+            frag = cells.get(f"lfs/{device}/frag/{wname}")
+            sync = cells.get(f"lfs/{device}/lfs-sync/{wname}")
+            batch = cells.get(f"lfs/{device}/lfs-batch/{wname}")
+            win = "-"
+            if sync and batch and batch["elapsed_seconds"]:
+                win = (
+                    f"{sync['elapsed_seconds'] / batch['elapsed_seconds']:.2f}x"
+                )
+            rows.append([
+                wname,
+                device,
+                f"{frag['elapsed_seconds']:.1f}" if frag else "-",
+                f"{sync['elapsed_seconds']:.1f}" if sync else "-",
+                f"{batch['elapsed_seconds']:.1f}" if batch else "-",
+                win,
+                str(batch["segments_cleaned"]) if batch else "-",
+                (f"{batch['cleaner_copied_bytes'] / 1024:.0f}"
+                 if batch else "-"),
+            ])
+    return render_table(
+        ["workload", "device", "frag (s)", "lfs sync (s)",
+         "lfs batched (s)", "batching win", "segments cleaned",
+         "cleaner copies (KB)"],
+        rows,
+        title="Log-structured store: batched 32-KB write-outs versus "
+              "durable-per-record appends, by device era",
+    )

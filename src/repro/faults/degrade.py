@@ -49,6 +49,11 @@ class ResilienceCounters:
     compressor_crashes: int = 0
     compressor_expansions: int = 0
 
+    # Log-structured store crash injection.
+    lfs_crashes: int = 0              # simulated power losses fired
+    lfs_checkpoints_lost: int = 0     # checkpoint writes silently dropped
+    lfs_recoveries: int = 0           # recovery replays completed
+
     # Retry machinery.
     retries: int = 0
     retry_backoff_seconds: float = 0.0
@@ -79,6 +84,8 @@ class ResilienceCounters:
             + self.fragment_corruptions
             + self.compressor_crashes
             + self.compressor_expansions
+            + self.lfs_crashes
+            + self.lfs_checkpoints_lost
         )
 
     def snapshot(self) -> dict:
@@ -93,6 +100,9 @@ class ResilienceCounters:
             "sticky_corruptions": self.sticky_corruptions,
             "compressor_crashes": self.compressor_crashes,
             "compressor_expansions": self.compressor_expansions,
+            "lfs_crashes": self.lfs_crashes,
+            "lfs_checkpoints_lost": self.lfs_checkpoints_lost,
+            "lfs_recoveries": self.lfs_recoveries,
             "retries": self.retries,
             "retry_backoff_seconds": self.retry_backoff_seconds,
             "retries_exhausted": self.retries_exhausted,

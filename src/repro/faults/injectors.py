@@ -54,6 +54,7 @@ class FaultInjector:
         self._device_faults = 0
         self._fragment_faults = 0
         self._compressor_faults = 0
+        self._lfs_faults = 0
 
     def _rng(self, site: str) -> random.Random:
         rng = self._rngs.get(site)
@@ -164,3 +165,50 @@ class FaultInjector:
             self.resilience.compressor_expansions += 1
             return "expand"
         return None
+
+    # ------------------------------------------------------------------
+    # Log-structured store crashes
+    # ------------------------------------------------------------------
+
+    def lfs_crash(self, site: str) -> Optional[float]:
+        """Maybe fire a simulated power loss at an LFS kill point.
+
+        ``site`` is one of ``append``, ``clean``, ``checkpoint``; each
+        gets its own decision stream (``lfs.append`` etc.) so enabling
+        crashes at one site doesn't perturb another's schedule.  Returns
+        the torn fraction of the in-flight write — how much of it the
+        medium retains — or ``None`` when no crash fires.
+        """
+        config = self.plan.lfs
+        if config.crash_rate <= 0:
+            return None
+        if (
+            config.max_faults is not None
+            and self._lfs_faults >= config.max_faults
+        ):
+            return None
+        rng = self._rng(f"lfs.{site}")
+        if rng.random() >= config.crash_rate:
+            return None
+        self._lfs_faults += 1
+        self.resilience.lfs_crashes += 1
+        if config.torn_fraction is not None:
+            return config.torn_fraction
+        return rng.random()
+
+    def lfs_checkpoint_lost(self) -> bool:
+        """Decide whether a checkpoint write is silently dropped."""
+        config = self.plan.lfs
+        if config.checkpoint_lost_rate <= 0:
+            return False
+        if (
+            config.max_faults is not None
+            and self._lfs_faults >= config.max_faults
+        ):
+            return False
+        if (self._rng("lfs.checkpoint_lost").random()
+                >= config.checkpoint_lost_rate):
+            return False
+        self._lfs_faults += 1
+        self.resilience.lfs_checkpoints_lost += 1
+        return True

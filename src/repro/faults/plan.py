@@ -223,10 +223,51 @@ class DegradationConfig:
             )
 
 
+@dataclass(frozen=True)
+class LfsFaultConfig:
+    """Crash and checkpoint faults for the log-structured store.
+
+    Only meaningful when the machine runs ``store="lfs"``; the fragment
+    store has no crash machinery and ignores this section.
+
+    Args:
+        crash_rate: probability each kill-point consultation (sites
+            ``lfs.append``, ``lfs.clean``, ``lfs.checkpoint``) fires a
+            simulated power loss: the in-flight write is torn, volatile
+            state is discarded, and recovery replay runs before the
+            interrupted operation re-executes.
+        torn_fraction: fraction of the in-flight write left visible
+            after the crash; ``None`` draws it uniformly per crash.
+        checkpoint_lost_rate: probability a checkpoint write is silently
+            dropped by the medium (the store believes it succeeded), so
+            the next recovery starts from the previous checkpoint and
+            replays a longer tail of the log.
+        max_faults: cap on injected crashes + lost checkpoints;
+            ``None`` = unlimited.
+    """
+
+    crash_rate: float = 0.0
+    torn_fraction: Optional[float] = None
+    checkpoint_lost_rate: float = 0.0
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_rate("lfs.crash_rate", self.crash_rate)
+        if self.torn_fraction is not None:
+            _check_rate("lfs.torn_fraction", self.torn_fraction)
+        _check_rate("lfs.checkpoint_lost_rate", self.checkpoint_lost_rate)
+        _check_max_faults("lfs.max_faults", self.max_faults)
+
+    @property
+    def enabled(self) -> bool:
+        return self.crash_rate > 0 or self.checkpoint_lost_rate > 0
+
+
 _SECTIONS = {
     "device": DeviceFaultConfig,
     "fragments": FragmentFaultConfig,
     "compressor": CompressorFaultConfig,
+    "lfs": LfsFaultConfig,
     "retry": RetryConfig,
     "degradation": DegradationConfig,
 }
@@ -244,6 +285,7 @@ class FaultPlan:
     compressor: CompressorFaultConfig = field(
         default_factory=CompressorFaultConfig
     )
+    lfs: LfsFaultConfig = field(default_factory=LfsFaultConfig)
     retry: RetryConfig = field(default_factory=RetryConfig)
     degradation: DegradationConfig = field(
         default_factory=DegradationConfig

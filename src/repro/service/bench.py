@@ -41,10 +41,18 @@ from ..workloads.traffic import (
     generate_ops,
 )
 from .config import ServiceConfig, TenantSpec
+from .errors import BackpressureError
 from .latency import LatencyRecorder, merge_all
 from .ledger import ledger_digest
 from .protocol import OP_DELETE, OP_GET, OP_PUT, STATUS_NAMES
 from .server import CacheService
+
+#: First backoff after a retryable rejection, and the cap the
+#: exponential doubling saturates at.  The cap keeps a persistently
+#: saturated service from stretching a client's retry gaps past the
+#: point where the bench's pacing model means anything.
+RETRY_INITIAL_S = 0.0005
+RETRY_MAX_S = 0.032
 
 #: Import path of :func:`run_service_point` for SweepPoint specs.
 SERVICE_RUNNER = "repro.service.bench:run_service_point"
@@ -97,12 +105,23 @@ async def _client(
     statuses: Counter,
     offsets: Optional[Sequence[float]] = None,
     start: float = 0.0,
+    retries: Optional[Counter] = None,
 ) -> None:
     """Replay one vslot-partitioned queue sequentially.
 
     Awaiting each submission before issuing the next preserves per-slot
     op order (the determinism contract); concurrency comes from running
     many clients, not from pipelining within one.
+
+    Submissions go in with ``wait=False``, so admission control answers
+    a full queue or a tenant at its in-flight cap with a *retryable*
+    :class:`BackpressureError` instead of parking the client; the
+    client then backs off (exponential, doubling from
+    :data:`RETRY_INITIAL_S`, capped at :data:`RETRY_MAX_S`) and resends
+    the same op.  Per-slot order is preserved — the client never moves
+    on until the current op is accepted.  Retry counts land in
+    ``retries`` (keyed by tenant index).  Non-retryable errors
+    propagate: a dead shard is a bench failure, not a retry loop.
     """
     clock = time.perf_counter
     clock_ns = time.perf_counter_ns
@@ -114,17 +133,29 @@ async def _client(
         # Generate the payload before the clock starts: content
         # generation is the *client's* cost, not service latency.
         payload = op.payload(traffic)
-        t0 = clock_ns()
         if op.op == GET:
-            status, _ = await service.submit(OP_GET, op.tenant, op.key, None)
+            wire = (OP_GET, None)
         elif op.op == DELETE:
-            status, _ = await service.submit(
-                OP_DELETE, op.tenant, op.key, None
-            )
+            wire = (OP_DELETE, None)
         else:
-            status, _ = await service.submit(
-                OP_PUT, op.tenant, op.key, payload
-            )
+            wire = (OP_PUT, payload)
+        # Latency includes the retry loop: time-to-acceptance is what a
+        # backpressured caller experiences.
+        t0 = clock_ns()
+        backoff = RETRY_INITIAL_S
+        while True:
+            try:
+                status, _ = await service.submit(
+                    wire[0], op.tenant, op.key, wire[1], wait=False
+                )
+                break
+            except BackpressureError as exc:
+                if not exc.retryable:
+                    raise
+                if retries is not None:
+                    retries[op.tenant] += 1
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2.0, RETRY_MAX_S)
         recorder.record(max(1, (clock_ns() - t0) // 1000))
         statuses[STATUS_NAMES[status]] += 1
 
@@ -171,10 +202,12 @@ async def replay_traffic(
     try:
         recorders = [LatencyRecorder() for _ in queues]
         statuses: Counter = Counter()
+        retries: Counter = Counter()
         start = time.perf_counter()
         await asyncio.gather(*(
             _client(service, queue, traffic, recorders[i], statuses,
-                    offsets=offset_queues[i], start=start)
+                    offsets=offset_queues[i], start=start,
+                    retries=retries)
             for i, queue in enumerate(queues)
         ))
         wall = time.perf_counter() - start
@@ -205,6 +238,13 @@ async def replay_traffic(
         "mean_batch_ops": round(len(ops) / total_batches, 2),
         "latency_us": latency.snapshot(),
         "statuses": dict(sorted(statuses.items())),
+        "backpressure_retries": {
+            "total": sum(retries.values()),
+            "by_tenant": {
+                str(tenant): count
+                for tenant, count in sorted(retries.items())
+            },
+        },
         "per_shard": per_shard,
         "ledgers": stats["ledgers"],
         "ledger_digest": ledger_digest(stats["ledgers"]),

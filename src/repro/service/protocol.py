@@ -53,6 +53,7 @@ ST_NOT_FOUND = 4     # DELETE for a non-resident key
 ST_QUOTA_DENIED = 5  # PUT rejected by the tenant's byte quota
 ST_STATS = 6         # control reply (JSON payload)
 ST_BYE = 7           # shutdown acknowledgement
+ST_PROTOCOL_ERROR = 8  # malformed frame; the connection closes after this
 
 STATUS_NAMES = {
     ST_HIT: "hit",
@@ -63,7 +64,13 @@ STATUS_NAMES = {
     ST_QUOTA_DENIED: "quota_denied",
     ST_STATS: "stats",
     ST_BYE: "bye",
+    ST_PROTOCOL_ERROR: "protocol_error",
 }
+
+#: Upper bound a TCP front-end accepts for one request frame.  Generous
+#: relative to any legitimate batch (batch_ops x page-size payloads),
+#: tight enough that a garbage length prefix cannot pin the reader.
+MAX_FRAME_BYTES = 16 << 20
 
 _HEADER = struct.Struct("<I")
 _REQUEST = struct.Struct("<BHHQI")

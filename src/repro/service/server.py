@@ -41,6 +41,7 @@ from .config import ServiceConfig
 from .errors import BackpressureError, ProtocolError, ShardDeadError
 from .ledger import merge_ledgers
 from .protocol import (
+    MAX_FRAME_BYTES,
     OP_DELETE,
     OP_GET,
     OP_PUT,
@@ -49,6 +50,7 @@ from .protocol import (
     ST_BYE,
     ST_DELETED,
     ST_HIT,
+    ST_PROTOCOL_ERROR,
     ST_QUOTA_DENIED,
     ST_STATS,
     ST_STORED,
@@ -412,6 +414,8 @@ async def serve_tcp(
     service: CacheService,
     host: str = "127.0.0.1",
     port: int = 0,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+    idle_timeout: Optional[float] = None,
 ) -> Tuple["asyncio.AbstractServer", "asyncio.Event"]:
     """Expose a started service over TCP (length-prefixed frames).
 
@@ -421,41 +425,81 @@ async def serve_tcp(
     ignored — routing is always recomputed from the key, so a confused
     client cannot corrupt another slot.  Returns the server object and
     a *stopped* event that an :data:`OP_SHUTDOWN` record sets.
+
+    Malformed input never wedges a connection: an oversized length
+    prefix (> ``max_frame_bytes``) or a frame :func:`iter_requests`
+    rejects draws a single :data:`ST_PROTOCOL_ERROR` response (message
+    as payload) and the connection closes.  A connection idle for more
+    than ``idle_timeout`` seconds between frames is closed silently
+    (``None`` disables the timeout).
     """
     stopped = asyncio.Event()
+
+    async def _protocol_error(writer: "asyncio.StreamWriter",
+                              message: str) -> None:
+        reply = ResponseBatch()
+        reply.add(ST_PROTOCOL_ERROR, message.encode("utf-8"))
+        out = bytes(reply.finish())
+        writer.write(len(out).to_bytes(4, "little") + out)
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
 
     async def _handle(reader: "asyncio.StreamReader",
                       writer: "asyncio.StreamWriter") -> None:
         try:
             while True:
                 try:
-                    header = await reader.readexactly(4)
+                    header_read = reader.readexactly(4)
+                    if idle_timeout is not None:
+                        header = await asyncio.wait_for(
+                            header_read, timeout=idle_timeout
+                        )
+                    else:
+                        header = await header_read
+                except asyncio.TimeoutError:
+                    return
                 except (asyncio.IncompleteReadError, ConnectionError):
                     return
                 length = int.from_bytes(header, "little")
+                if length > max_frame_bytes:
+                    await _protocol_error(
+                        writer,
+                        f"frame length {length} exceeds "
+                        f"{max_frame_bytes}",
+                    )
+                    return
                 try:
                     frame = await reader.readexactly(length)
                 except (asyncio.IncompleteReadError, ConnectionError):
                     return
                 reply = ResponseBatch()
                 shutdown = False
-                for op, tenant, _vslot, key, payload in iter_requests(
-                    memoryview(frame)
-                ):
-                    if op == OP_SHUTDOWN:
-                        reply.add(ST_BYE)
-                        shutdown = True
-                    elif op == OP_STATS:
-                        blob = json.dumps(
-                            await service.stats(), sort_keys=True
-                        ).encode("utf-8")
-                        reply.add(ST_STATS, blob)
-                    else:
-                        status, view = await service.submit(
-                            op, tenant, key,
-                            bytes(payload) if payload.nbytes else None,
-                        )
-                        reply.add(status, view)
+                try:
+                    for op, tenant, _vslot, key, payload in iter_requests(
+                        memoryview(frame)
+                    ):
+                        if op == OP_SHUTDOWN:
+                            reply.add(ST_BYE)
+                            shutdown = True
+                        elif op == OP_STATS:
+                            blob = json.dumps(
+                                await service.stats(), sort_keys=True
+                            ).encode("utf-8")
+                            reply.add(ST_STATS, blob)
+                        else:
+                            status, view = await service.submit(
+                                op, tenant, key,
+                                bytes(payload) if payload.nbytes else None,
+                            )
+                            reply.add(status, view)
+                except ProtocolError as exc:
+                    # Partial replies are useless to a client that sent
+                    # a frame it cannot account for; answer with the
+                    # error alone and drop the connection.
+                    await _protocol_error(writer, str(exc))
+                    return
                 out = bytes(reply.finish())
                 writer.write(len(out).to_bytes(4, "little") + out)
                 await writer.drain()

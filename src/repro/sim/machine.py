@@ -40,6 +40,7 @@ from ..storage.device import BackingDevice
 from ..storage.disk import DiskModel
 from ..storage.fragstore import FragmentStore
 from ..storage.lfs import LogStructuredFS
+from ..storage.logstore import LogStoreConfig, LogStructuredStore
 from ..storage.network import NetworkModel
 from ..storage.swap import StandardSwap
 from ..tiers.chain import TierChain
@@ -57,9 +58,13 @@ DEVICE_PRESETS: Dict[str, Callable[[], BackingDevice]] = {
     "rz57": DiskModel.rz57,
     "pcmcia": DiskModel.slow_pcmcia,
     "modern-hdd": DiskModel.modern_hdd,
+    "modern-ssd": DiskModel.modern_ssd,
     "ethernet": NetworkModel.ethernet,
     "wavelan": NetworkModel.wavelan,
 }
+
+#: Known compressed-page backing stores (``MachineConfig.store``).
+STORE_KINDS = ("frag", "lfs")
 
 
 @dataclass(frozen=True)
@@ -89,6 +94,14 @@ class MachineConfig:
     fragment_size: int = 1024
     batch_bytes: int = 32768
     allow_spanning: bool = True
+    #: Compressed-page backing store: "frag" = the paper's fragment
+    #: store (the default behind every golden digest); "lfs" = the
+    #: crash-consistent log-structured store
+    #: (:mod:`repro.storage.logstore`).
+    store: str = "frag"
+    #: Geometry/policy of the log-structured store; ignored unless
+    #: ``store == "lfs"``.
+    log_store: LogStoreConfig = field(default_factory=LogStoreConfig)
     threshold_factor: float = 4.0 / 3.0
     biases: AllocationBiases = field(default_factory=AllocationBiases)
     cleaner: CleanerPolicy = field(default_factory=CleanerPolicy)
@@ -131,6 +144,11 @@ class MachineConfig:
             raise ValueError(
                 "MachineConfig.threshold_factor must be positive, got "
                 f"{self.threshold_factor!r}"
+            )
+        if self.store not in STORE_KINDS:
+            raise ValueError(
+                f"MachineConfig.store must be one of {STORE_KINDS}, "
+                f"got {self.store!r}"
             )
 
     def variant(self, **changes) -> "MachineConfig":
@@ -227,7 +245,9 @@ class Machine:
         )
         self.allocator.register(FrameOwner.FILE_CACHE, self.buffer_cache)
 
-        self.fragstore: Optional[FragmentStore] = None
+        #: The compressed-page backing store (FragmentStore or
+        #: LogStructuredStore — same duck-typed surface).
+        self.fragstore = None
         self.ccache: Optional[CompressionCache] = None
         self.sampler: Optional[CompressionSampler] = None
         self.gate: Optional[AdaptiveCompressionGate] = None
@@ -247,14 +267,26 @@ class Machine:
 
         if config.compression_cache:
             exact = config.exact_compression or config.paranoid
-            self.fragstore = FragmentStore(
-                self.fs,
-                fragment_size=config.fragment_size,
-                batch_bytes=config.batch_bytes,
-                allow_spanning=config.allow_spanning,
-                resilience=self.resilience,
-                injector=self.injector,
-            )
+            if config.store == "lfs":
+                # The log-structured store owns its segment layout, so
+                # it charges the raw device directly instead of going
+                # through the block filesystem.
+                self.fragstore = LogStructuredStore(
+                    self.device,
+                    config=config.log_store,
+                    batch_bytes=config.batch_bytes,
+                    resilience=self.resilience,
+                    injector=self.injector,
+                )
+            else:
+                self.fragstore = FragmentStore(
+                    self.fs,
+                    fragment_size=config.fragment_size,
+                    batch_bytes=config.batch_bytes,
+                    allow_spanning=config.allow_spanning,
+                    resilience=self.resilience,
+                    injector=self.injector,
+                )
             if config.tiers is not None:
                 specs: Tuple[TierSpec, ...] = config.tiers
             else:

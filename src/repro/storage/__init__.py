@@ -10,6 +10,13 @@ from .device import BackingDevice, DeviceCounters
 from .disk import DiskModel
 from .fragstore import FragmentLocation, FragmentStore, FragStoreCounters
 from .lfs import LfsCounters, LogStructuredFS
+from .logstore import (
+    LogLocation,
+    LogStoreConfig,
+    LogStoreCounters,
+    LogStructuredStore,
+    RecoveryStats,
+)
 from .network import NetworkModel
 from .swap import StandardSwap, SwapCounters
 
@@ -28,8 +35,13 @@ __all__ = [
     "FragmentStore",
     "FsCounters",
     "LfsCounters",
+    "LogLocation",
+    "LogStoreConfig",
+    "LogStoreCounters",
     "LogStructuredFS",
+    "LogStructuredStore",
     "NetworkModel",
+    "RecoveryStats",
     "PartialWritePolicy",
     "StandardSwap",
     "SwapCounters",

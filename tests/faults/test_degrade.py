@@ -78,3 +78,71 @@ class TestDegradation:
         controller, counters = make_controller()
         controller.note_bypassed_eviction()
         assert counters.bypassed_evictions == 0
+
+
+class TestAlternatingFaultBursts:
+    """Flapping behaviour: NORMAL ⇄ DEGRADED cycles respect the cooldown.
+
+    A bursty fault source (a bad batch of pages, then a clean stretch,
+    then another bad batch) must not be able to shorten or skip the
+    cooldown, and every re-entry must demand ``min_events`` fresh
+    observations — the controller may flap, but only at the configured
+    cadence.
+    """
+
+    def test_each_burst_pays_full_cooldown(self):
+        controller, counters = make_controller(
+            min_events=4, cooldown=5
+        )
+        for cycle in range(3):
+            for _ in range(4):
+                controller.record(False)
+            assert controller.degraded
+            assert counters.degradation_entries == cycle + 1
+            # Mid-cooldown faults must not extend or restart it...
+            for _ in range(2):
+                controller.note_bypassed_eviction()
+                controller.record(False)  # ignored while degraded
+            # ...and the remaining ticks still count down to exactly 0.
+            for _ in range(3):
+                assert controller.degraded
+                controller.note_bypassed_eviction()
+            assert not controller.degraded
+            assert counters.degradation_exits == cycle + 1
+        assert counters.bypassed_evictions == 15  # 3 cycles x cooldown 5
+
+    def test_clean_stretch_between_bursts_resets_the_window(self):
+        controller, counters = make_controller(
+            window=8, threshold=0.5, min_events=4, cooldown=2
+        )
+        # Burst, cooldown, then a clean stretch long enough to push the
+        # burst's failures out of the (fresh) window.
+        for _ in range(4):
+            controller.record(False)
+        controller.note_bypassed_eviction()
+        controller.note_bypassed_eviction()
+        assert not controller.degraded
+        for _ in range(8):
+            controller.record(True)
+        # A sub-threshold trickle now cannot re-trigger: 3 bad out of
+        # the 8-wide window is under the 0.5 threshold.
+        for _ in range(3):
+            controller.record(False)
+        assert not controller.degraded
+        assert counters.degradation_entries == 1
+        # A full fresh burst still can.
+        for _ in range(4):
+            controller.record(False)
+        assert controller.degraded
+        assert counters.degradation_entries == 2
+
+    def test_flapping_counters_stay_paired(self):
+        controller, counters = make_controller(min_events=4, cooldown=1)
+        for cycle in range(10):
+            for _ in range(4):
+                controller.record(False)
+            controller.note_bypassed_eviction()
+        assert counters.degradation_entries == 10
+        assert counters.degradation_exits == 10
+        assert counters.bypassed_evictions == 10
+        assert not controller.degraded

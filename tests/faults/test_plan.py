@@ -10,6 +10,7 @@ from repro.faults.plan import (
     FaultPlan,
     FaultPlanError,
     FragmentFaultConfig,
+    LfsFaultConfig,
     RetryConfig,
 )
 
@@ -48,6 +49,17 @@ class TestValidation:
             DeviceFaultConfig(max_faults=-1)
         assert DeviceFaultConfig(max_faults=None).max_faults is None
 
+    def test_lfs_rates_validated(self):
+        with pytest.raises(FaultPlanError, match="lfs.crash_rate"):
+            LfsFaultConfig(crash_rate=2.0)
+        with pytest.raises(FaultPlanError, match="lfs.torn_fraction"):
+            LfsFaultConfig(torn_fraction=-0.5)
+        with pytest.raises(FaultPlanError, match="lfs.checkpoint_lost_rate"):
+            LfsFaultConfig(checkpoint_lost_rate=1.1)
+        assert not LfsFaultConfig().enabled
+        assert LfsFaultConfig(crash_rate=0.1).enabled
+        assert LfsFaultConfig(checkpoint_lost_rate=0.1).enabled
+
 
 class TestFromDict:
     def test_unknown_top_level_key_rejected(self):
@@ -77,9 +89,12 @@ class TestFromDict:
             "fragments": {"corrupt_read_rate": 0.05,
                           "sticky_fraction": 0.5},
             "compressor": {"crash_rate": 0.01},
+            "lfs": {"crash_rate": 0.02, "torn_fraction": 0.5,
+                    "checkpoint_lost_rate": 0.1, "max_faults": 4},
             "retry": {"max_attempts": 3},
             "degradation": {"window": 8},
         })
+        assert plan.lfs.crash_rate == 0.02
         assert FaultPlan.from_dict(plan.to_dict()) == plan
 
     def test_empty_dict_is_inert_plan(self):

@@ -24,6 +24,7 @@ from repro.service.protocol import (
     OP_SHUTDOWN,
     ST_BYE,
     ST_HIT,
+    ST_PROTOCOL_ERROR,
     ST_STORED,
     iter_responses,
     pack_requests,
@@ -168,6 +169,36 @@ class TestFlowControl:
 
         asyncio.run(scenario())
 
+    def test_bench_clients_retry_backpressure(self):
+        """The bench absorbs retryable rejections instead of failing.
+
+        One shard with a single pending slot, a per-op stall, and four
+        concurrent clients guarantees admission rejections; every op
+        must still land (per-slot order preserved) and the retry count
+        must surface in the replay metrics.
+        """
+        from repro.service.bench import replay_traffic
+        from repro.workloads.traffic import TenantTraffic, TrafficSpec
+
+        async def scenario():
+            config = make_config(
+                shards=1, batch_ops=1, max_pending=1,
+                debug_op_delay_s=0.005,
+            )
+            traffic = TrafficSpec(
+                ops=80, seed=11, page_size=PAGE,
+                tenants=(TenantTraffic("default", keys=40),),
+            )
+            result = await replay_traffic(config, traffic, clients=4)
+            retries = result["backpressure_retries"]
+            assert retries["total"] > 0
+            assert retries["by_tenant"] == {"default": retries["total"]}
+            # Retried ops were eventually accepted: every op answered.
+            assert sum(result["statuses"].values()) == 80
+            assert "backpressure" not in result["statuses"]
+
+        asyncio.run(scenario())
+
     def test_tenant_inflight_cap(self):
         async def scenario():
             config = make_config(
@@ -273,5 +304,79 @@ class TestTcpFrontEnd:
                 server.close()
                 await server.wait_closed()
                 await service.stop()
+
+        asyncio.run(scenario())
+
+    def _serve(self, **kwargs):
+        """Start service + TCP front-end; returns an async context."""
+        import contextlib
+
+        @contextlib.asynccontextmanager
+        async def ctx():
+            service = CacheService(make_config(shards=1))
+            await service.start()
+            server, _stopped = await serve_tcp(service, port=0, **kwargs)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                yield reader, writer
+                writer.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.stop()
+
+        return ctx()
+
+    async def _read_status(self, reader):
+        length = int.from_bytes(await reader.readexactly(4), "little")
+        reply = await reader.readexactly(length)
+        return list(iter_responses(memoryview(reply)))[0][0]
+
+    def test_truncated_frame_draws_protocol_error(self):
+        async def scenario():
+            async with self._serve() as (reader, writer):
+                # Header claims one record but the frame ends early.
+                garbage = b"\x01\x00\x00\x00\xff\xff"
+                writer.write(len(garbage).to_bytes(4, "little") + garbage)
+                await writer.drain()
+                assert await self._read_status(reader) == ST_PROTOCOL_ERROR
+                # The server hangs up after answering.
+                assert await reader.read() == b""
+
+        asyncio.run(scenario())
+
+    def test_oversized_frame_draws_protocol_error(self):
+        async def scenario():
+            async with self._serve(max_frame_bytes=4096) as (
+                reader, writer
+            ):
+                writer.write((4097).to_bytes(4, "little"))
+                await writer.drain()
+                assert await self._read_status(reader) == ST_PROTOCOL_ERROR
+                assert await reader.read() == b""
+
+        asyncio.run(scenario())
+
+    def test_idle_connection_times_out(self):
+        async def scenario():
+            async with self._serve(idle_timeout=0.1) as (reader, writer):
+                # Send nothing; the server must hang up on its own.
+                assert await asyncio.wait_for(reader.read(), timeout=5) \
+                    == b""
+
+        asyncio.run(scenario())
+
+    def test_active_connection_survives_idle_timeout(self):
+        async def scenario():
+            async with self._serve(idle_timeout=5.0) as (reader, writer):
+                frame = bytes(pack_requests(
+                    [(OP_PUT, 0, 0, 7, b"k".ljust(PAGE, b"."))]
+                ))
+                writer.write(len(frame).to_bytes(4, "little") + frame)
+                await writer.drain()
+                assert await self._read_status(reader) == ST_STORED
 
         asyncio.run(scenario())

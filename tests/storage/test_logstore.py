@@ -1,0 +1,213 @@
+"""Unit tests for the log-structured compressed-page backing store.
+
+Crash/recovery properties live in ``test_logstore_crash.py``; this file
+covers the ordinary store contract (the same duck-typed surface the
+fragment store exposes), the segment/cleaning mechanics, and the
+configuration plumbing.
+"""
+
+import pytest
+
+from repro.mem.page import PageId
+from repro.storage.disk import DiskModel
+from repro.storage.logstore import (
+    KILL_SITES,
+    LogStoreConfig,
+    LogStructuredStore,
+    parse_kill_spec,
+)
+
+
+def make_store(**overrides):
+    config = LogStoreConfig(**{
+        "segment_bytes": 8192,
+        "total_segments": 32,
+        **overrides,
+    })
+    return LogStructuredStore(
+        DiskModel.rz57(), config=config, batch_bytes=4096
+    )
+
+
+def fill(store, count, size=600, base=0):
+    pages = [PageId(0, base + i) for i in range(count)]
+    for i, page in enumerate(pages):
+        store.put(page, bytes([(i + 7) % 256]) * size)
+    return pages
+
+
+class TestRoundTrip:
+    def test_put_get_roundtrip(self):
+        store = make_store()
+        payload = b"\x42" * 900
+        store.put(PageId(0, 1), payload)
+        store.flush()
+        data, seconds, _colocated = store.get(PageId(0, 1))
+        assert data == payload
+        assert seconds > 0.0
+
+    def test_get_before_flush_serves_staged_copy(self):
+        store = make_store()
+        payload = b"\x17" * 300
+        store.put(PageId(0, 2), payload)
+        data, _seconds, _ = store.get(PageId(0, 2))
+        assert data == payload
+
+    def test_peek_does_not_charge_device(self):
+        store = make_store()
+        store.put(PageId(0, 3), b"\x05" * 200)
+        store.flush()
+        before = store.counters.pages_got
+        assert store.peek(PageId(0, 3)) == b"\x05" * 200
+        assert store.counters.pages_got == before
+
+    def test_contains_and_free(self):
+        store = make_store()
+        page = PageId(0, 4)
+        store.put(page, b"\x09" * 100)
+        assert store.contains(page)
+        store.free(page)
+        assert not store.contains(page)
+        with pytest.raises(KeyError):
+            store.get(page)
+
+    def test_empty_payload_rejected(self):
+        store = make_store()
+        with pytest.raises(ValueError):
+            store.put(PageId(0, 5), b"")
+
+    def test_supersede_keeps_latest(self):
+        store = make_store()
+        page = PageId(0, 6)
+        store.put(page, b"\x01" * 400)
+        store.put(page, b"\x02" * 400)
+        store.flush()
+        data, _, _ = store.get(page)
+        assert data == b"\x02" * 400
+        assert store.live_pages == 1
+
+
+class TestBatching:
+    def test_appends_batch_until_threshold(self):
+        store = make_store()
+        store.put(PageId(0, 1), b"\x01" * 100)
+        assert store.counters.batch_flushes == 0
+        # Crossing batch_bytes (4096) forces a write-out.
+        store.put(PageId(0, 2), b"\x02" * 4200)
+        assert store.counters.batch_flushes == 1
+
+    def test_sync_appends_flush_every_op(self):
+        store = make_store(sync_appends=True)
+        for i in range(3):
+            store.put(PageId(0, i), b"\x03" * 64)
+        assert store.counters.batch_flushes == 3
+        assert store.counters.append_writes == 3
+
+    def test_flush_is_idempotent(self):
+        store = make_store()
+        store.put(PageId(0, 1), b"\x04" * 64)
+        assert store.flush() > 0.0
+        assert store.flush() == 0.0
+
+
+class TestCleaning:
+    def test_forced_collect_reclaims_garbage(self):
+        store = make_store(sync_appends=True, min_sealed_for_gc=1)
+        pages = fill(store, 40, size=900)
+        for page in pages[:30]:
+            store.free(page)
+        before = store.free_segments
+        seconds = store.maybe_collect(force=True)
+        assert seconds > 0.0
+        assert store.counters.segments_cleaned > 0
+        assert store.free_segments > before
+        assert store.gc_generation >= 1
+        # Survivors are intact after their segments were copied out.
+        for i, page in enumerate(pages[30:], start=30):
+            data, _, _ = store.get(page)
+            assert data == bytes([(i + 7) % 256]) * 900
+
+    def test_threshold_collect_noop_when_clean(self):
+        store = make_store()
+        fill(store, 4)
+        store.flush()
+        assert store.maybe_collect() == 0.0
+        assert store.counters.segments_cleaned == 0
+
+    def test_cleaning_writes_checkpoint(self):
+        store = make_store(sync_appends=True, min_sealed_for_gc=1)
+        pages = fill(store, 40, size=900)
+        for page in pages[:35]:
+            store.free(page)
+        store.maybe_collect(force=True)
+        assert store.counters.checkpoints_written >= 1
+
+    def test_periodic_checkpoint_follows_opens(self):
+        store = make_store(sync_appends=True, checkpoint_every=2)
+        fill(store, 60, size=900)  # ~54 KB: several segment opens
+        assert store.counters.checkpoints_written >= 2
+
+
+class TestRecoveryBasics:
+    def test_recover_empty_store(self):
+        store = make_store()
+        store.crash_and_recover()
+        assert store.live_pages == 0
+        assert store.recovery.recoveries == 1
+
+    def test_acknowledged_pages_survive_crash(self):
+        store = make_store(sync_appends=True)
+        pages = fill(store, 25, size=700)
+        store.free(pages[3])
+        acked = store.acknowledged_pages()
+        store.crash_and_recover()
+        assert store.acknowledged_pages() == acked
+        data, _, _ = store.get(pages[7])
+        assert data == bytes([(7 + 7) % 256]) * 700
+
+    def test_unflushed_batch_lost_on_crash(self):
+        store = make_store()  # batched mode: the put is only staged
+        store.put(PageId(0, 1), b"\x06" * 100)
+        store.crash_and_recover()
+        assert not store.contains(PageId(0, 1))
+
+    def test_recovery_stats_outside_digest_counters(self):
+        store = make_store(sync_appends=True)
+        fill(store, 5)
+        snap_before = store.counters.snapshot()
+        store.crash_and_recover()
+        assert store.counters.snapshot() == snap_before
+        assert "recoveries" not in snap_before
+        assert store.recovery.replayed_records > 0
+
+
+class TestConfig:
+    def test_kill_sites_exported(self):
+        assert KILL_SITES == ("append", "clean", "checkpoint")
+
+    @pytest.mark.parametrize("spec,expected", [
+        ("append:3", ("append", 3, None)),
+        ("clean:1:0.5", ("clean", 1, 0.5)),
+        ("checkpoint:10:0.0", ("checkpoint", 10, 0.0)),
+    ])
+    def test_parse_kill_spec(self, spec, expected):
+        assert parse_kill_spec(spec) == expected
+
+    @pytest.mark.parametrize("spec", [
+        "append", "append:0", "nowhere:1", "clean:2:1.5", "clean:x",
+    ])
+    def test_parse_kill_spec_rejects(self, spec):
+        with pytest.raises(ValueError):
+            parse_kill_spec(spec)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LogStoreConfig(segment_bytes=1024)
+        with pytest.raises(ValueError):
+            LogStoreConfig(total_segments=2)
+        with pytest.raises(ValueError):
+            LogStoreConfig(kill="bogus")
+
+    def test_kill_spec_forces_sync_appends(self):
+        store = make_store(kill="append:1000")
+        assert store.sync_appends

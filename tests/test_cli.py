@@ -229,3 +229,47 @@ class TestRunCommand:
         payload = json_mod.loads(capsys.readouterr().out)
         assert "elapsed_seconds" in payload
         assert "resilience" not in payload  # no plan installed
+
+
+class TestLfsCommands:
+    def test_lfs_run(self, capsys):
+        assert main(["run", "--workload", "thrasher", "--scale", "0.03",
+                     "--store", "lfs"]) == 0
+        assert "elapsed" in capsys.readouterr().out
+
+    def test_killed_digest_equals_uninterrupted(self, capsys):
+        # --kill implies synchronous appends, so the uninterrupted
+        # reference must run with --store-sync to match.
+        base = ["run", "--workload", "thrasher", "--scale", "0.05",
+                "--store", "lfs", "--store-sync", "--digest"]
+        assert main(base) == 0
+        reference = capsys.readouterr().out.strip()
+        assert len(reference) == 64
+        assert main(base + ["--kill", "append:2:0.5"]) == 0
+        assert capsys.readouterr().out.strip() == reference
+
+    def test_kill_requires_lfs_store(self, capsys):
+        assert main(["run", "--workload", "thrasher",
+                     "--kill", "append:1"]) == 2
+        assert "--kill requires --store lfs" in capsys.readouterr().err
+
+    def test_invalid_kill_spec(self, capsys):
+        assert main(["run", "--workload", "thrasher", "--store", "lfs",
+                     "--kill", "nowhere:1"]) == 2
+        assert "kill" in capsys.readouterr().err
+
+    def test_lfs_sweep_digest_deterministic(self, capsys):
+        argv = ["sweep", "--experiment", "lfs", "--scale", "0.04",
+                "--digest", "--jobs", "1"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out.strip()
+        assert main(argv) == 0
+        assert capsys.readouterr().out.strip() == first
+        assert len(first) == 64
+
+    def test_lfs_sweep_plain_output(self, capsys):
+        assert main(["sweep", "--experiment", "lfs", "--scale", "0.04",
+                     "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "lfs/rz57" in out
+        assert "batching win" in out
