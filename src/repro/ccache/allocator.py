@@ -256,6 +256,90 @@ class TieredAllocator:
                 self.counters.victims[_pool_label(key)] += 1
         return self.frames.allocate(for_owner)
 
+    def retune(
+        self,
+        key: object,
+        weight: Optional[float] = None,
+        bias_s: Optional[float] = None,
+    ) -> Tuple[float, float]:
+        """Re-bias a registered pool's trading terms at runtime.
+
+        Terms left ``None`` keep their current value (for a pool still
+        on the policy, the policy's current terms).  After a retune the
+        pool carries static terms — it no longer follows the policy
+        object — and the flattened term table is invalidated so the next
+        victim choice sees the new values.  Returns the effective
+        ``(weight, bias_s)`` pair.
+
+        Raises:
+            KeyError: when no pool is registered under ``key``.
+            ValueError: when the resulting terms are invalid.
+        """
+        label = _pool_label(key)
+        if key not in self._pools:
+            raise KeyError(
+                f"cannot retune unregistered pool {label!r}"
+            )
+        current = self._static_terms.get(key)
+        if current is None:
+            if self.policy is not None and key in self._policy_keys:
+                current = self.policy.terms_for(key)
+            else:
+                current = (1.0, 0.0)
+        new_weight = current[0] if weight is None else weight
+        new_bias = current[1] if bias_s is None else bias_s
+        _validate_terms(label, new_weight, new_bias)
+        self._policy_keys.discard(key)
+        self._static_terms[key] = (new_weight, new_bias)
+        self._terms_src = None  # force a term-table rebuild
+        return (new_weight, new_bias)
+
+    def resize_pool(self, key: object, max_frames: Optional[int]) -> int:
+        """Change a capped pool's frame budget at runtime, spill-safe.
+
+        Sets the pool's ``max_frames`` (``None`` lifts the cap) and, when
+        shrinking below the pool's live footprint, asks it to give frames
+        back one at a time — each ``shrink_one`` call demotes or writes
+        pages out through the pool's own resilient path (DemotionSink
+        spill-to-store included), so no data is ever lost.  A pool may
+        legitimately stop early (e.g. only its unsealed tail frame left);
+        the cap still applies to future growth.  Returns the number of
+        frames released.
+
+        Raises:
+            KeyError: when no pool is registered under ``key``.
+            TypeError: when the pool does not support a frame cap.
+            ValueError: for a non-positive cap.
+        """
+        label = _pool_label(key)
+        if key not in self._pools:
+            raise KeyError(
+                f"cannot resize unregistered pool {label!r}"
+            )
+        pool = self._pools[key]
+        if pool is None or not hasattr(pool, "max_frames") \
+                or not hasattr(pool, "nframes"):
+            raise TypeError(
+                f"pool {label!r} does not support a frame cap"
+            )
+        if max_frames is not None and max_frames < 1:
+            raise ValueError(
+                f"{label}: max_frames must be >= 1 or None, "
+                f"got {max_frames!r}"
+            )
+        pool.max_frames = max_frames
+        released = 0
+        if max_frames is not None:
+            self._shrinking.add(key)
+            try:
+                while pool.nframes > max_frames:
+                    if pool.shrink_one() is None:
+                        break
+                    released += 1
+            finally:
+                self._shrinking.discard(key)
+        return released
+
     def _choose_victim(self):
         policy = self.policy
         if policy is not self._terms_src:

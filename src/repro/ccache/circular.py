@@ -156,6 +156,15 @@ class CompressionCache:
         #: entry's payload reaches the backing store (cleaner or eviction);
         #: the VM uses it to keep per-page store versions current.
         self.written_callback: Optional[Callable[[PageId, int], None]] = None
+        #: Hotness predicate consulted by :meth:`clean_pages`; when it
+        #: returns True the dirty page is deferred to the back of the
+        #: FIFO (bounded per round by :attr:`hot_skip_budget`) so cold
+        #: pages sink first.  ``None`` (the default) keeps the historical
+        #: strict-FIFO order byte-for-byte.
+        self.hot_filter: Optional[Callable[[PageId], bool]] = None
+        #: Max hot-page deferrals per clean_pages round — the bound that
+        #: guarantees cleaner progress even when every dirty page is hot.
+        self.hot_skip_budget = 8
 
     # ------------------------------------------------------------------
     # Introspection
@@ -383,11 +392,21 @@ class CompressionCache:
         """
         self._prepare_clean_group(max_pages)
         written = 0
+        hot_filter = self.hot_filter
+        skips_left = self.hot_skip_budget if hot_filter is not None else 0
         while written < max_pages and self._dirty_fifo:
             page_id = self._dirty_fifo.popleft()
             entry = self._entries.get(page_id)
             if entry is None or not entry.header.dirty:
                 continue  # stale FIFO entry (page removed or cleaned)
+            if skips_left and hot_filter(page_id):
+                # Hotness-aware demotion: a page still in active use is
+                # sent to the back of the queue so a cold page sinks in
+                # its place.  (A deferred page may waste its speculative
+                # prepare_group decompression — pure content work.)
+                self._dirty_fifo.append(page_id)
+                skips_left -= 1
+                continue
             try:
                 seconds = self.fragstore.put(page_id, entry.payload)
             except PagingFaultError as exc:

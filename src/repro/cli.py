@@ -43,6 +43,7 @@ from typing import List, Optional
 from .compression import available as available_compressors
 from .experiments import (
     TABLE1_ORDER,
+    experiment_names,
     figure3_sweep,
     render_figure1,
     render_table1,
@@ -52,8 +53,10 @@ from .mem.page import mbytes
 from .sim.engine import SimulationEngine
 from .sim.machine import Machine, MachineConfig
 from .workloads import (
+    AppRelaunchWorkload,
     CacheSimWorkload,
     CompareWorkload,
+    DiurnalWorkload,
     GoldWorkload,
     MultiProgramWorkload,
     SortWorkload,
@@ -92,6 +95,14 @@ WORKLOAD_FACTORIES = {
             ),
         ],
         quantum=64,
+    ),
+    # The control-plane scenarios (sweep --experiment control uses the
+    # same shapes): app-switch storms and a breathing working set.
+    "relaunch": lambda scale: AppRelaunchWorkload(
+        mbytes(4 * scale), apps=3, sessions=8
+    ),
+    "diurnal": lambda scale: DiurnalWorkload(
+        mbytes(10 * scale), phases=6, passes_per_phase=2
     ),
 }
 
@@ -161,6 +172,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 kill=args.kill or None,
             ),
         }
+    control = None
+    if args.control:
+        from .control.controller import ControlConfig
+
+        control = ControlConfig()
     workload = factory(args.scale)
     config = MachineConfig(
         memory_bytes=mbytes(args.memory_mb * args.scale),
@@ -168,6 +184,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fault_plan=plan,
         paranoid=args.paranoid,
         tiers=tiers,
+        control=control,
         **store_changes,
     )
     machine = Machine(config, workload.build())
@@ -179,6 +196,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(hashlib.sha256(canonical.encode()).hexdigest())
         return 0
     if args.json:
+        if machine.explicit_tiers and machine.telemetry is not None:
+            payload["tier_report"] = _tier_report(machine)
         print(json.dumps(payload, sort_keys=True, indent=2))
         return 0
     print(result.summary())
@@ -186,6 +205,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for name, value in result.fault_counters.items():
             print(f"  {name}: {value}")
     return 0
+
+
+def _tier_report(machine: Machine) -> dict:
+    """Per-tier occupancy and windowed hit rates for ``run --json``.
+
+    Assembled at the CLI layer — never part of ``RunResult.as_dict()``
+    — so ``--digest`` output and every pinned golden digest stay
+    byte-identical whether or not a report is printed.
+    """
+    telemetry = machine.telemetry
+    telemetry.window.advance(machine.ledger.now)
+    tiers = []
+    for tier in machine.chain.tiers:
+        cap = tier.cache.max_frames
+        frames = tier.cache.nframes
+        tiers.append({
+            "name": tier.name,
+            "frames": frames,
+            "max_frames": cap,
+            "occupancy": frames / cap if cap else None,
+            "windowed_hit_rate": telemetry.tier_hit_rate(tier.name),
+        })
+    return {
+        "window_seconds": telemetry.window.span_seconds,
+        "windowed_miss_fraction": telemetry.miss_fraction(),
+        "tiers": tiers,
+    }
 
 
 def _cmd_figure1(_args: argparse.Namespace) -> int:
@@ -229,34 +275,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     results; CI compares digests across ``--jobs`` values to prove
     parallel == serial.
     """
-    from .experiments import (
-        ablation_points,
-        figure3_points,
-        kernels_points,
-        lfs_points,
-        table1_points,
-        tiers_points,
-    )
+    from .experiments import EXPERIMENTS
     from .sweep import run_sweep
 
     say = (lambda _msg: None) if args.digest else print
-    if args.experiment == "figure3":
-        modes = {"rw": [True], "ro": [False],
-                 "both": [False, True]}[args.mode]
-        points = []
-        for write in modes:
-            points.extend(figure3_points(write=write, scale=args.scale,
-                                         seed=args.seed))
-    elif args.experiment == "table1":
-        points = table1_points(scale=args.scale)
-    elif args.experiment == "tiers":
-        points = tiers_points(args.scale)
-    elif args.experiment == "kernels":
-        points = kernels_points(args.scale)
-    elif args.experiment == "lfs":
-        points = lfs_points(args.scale)
-    else:  # ablations
-        points = ablation_points(args.scale)
+    experiment = EXPERIMENTS[args.experiment]
+    points = experiment.points(
+        args.scale, {"mode": args.mode, "seed": args.seed}
+    )
     sweep = run_sweep(
         points,
         jobs=args.jobs,
@@ -276,14 +302,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     for key, record in sweep.results.items():
         print(f"{key}: {json.dumps(record, sort_keys=True)}")
-    if args.experiment == "kernels":
-        from .experiments import render_kernels
-
-        print(render_kernels(sweep.results))
-    elif args.experiment == "lfs":
-        from .experiments import render_lfs
-
-        print(render_lfs(sweep.results))
+    if experiment.render is not None:
+        print(experiment.render(sweep.results))
     print(sweep.summary())
     return 0
 
@@ -716,6 +736,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "consult of SITE (append, clean, checkpoint), "
                           "leaving FRAC of the in-flight write; the run "
                           "recovers and continues (see docs/faults.md)")
+    run.add_argument("--control", action="store_true",
+                     help="enable the closed-loop control plane "
+                          "(hotness-aware autotuning of tier geometry "
+                          "and trading biases; see docs/control.md)")
     run.add_argument("--digest", action="store_true",
                      help="print only a sha256 of the full result (the "
                           "chaos determinism check)")
@@ -749,8 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run an experiment as a parallel, resumable sweep"
     )
     sweep.add_argument("--experiment",
-                       choices=("figure3", "table1", "ablations", "tiers",
-                                "kernels", "lfs"),
+                       choices=experiment_names(),
                        default="figure3")
     sweep.add_argument("--scale", type=float, default=0.2)
     sweep.add_argument("--mode", choices=("rw", "ro", "both"),

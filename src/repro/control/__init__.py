@@ -1,0 +1,56 @@
+"""Closed-loop control plane: telemetry, hotness, and tier autotuning.
+
+Three layers, each usable on its own:
+
+* :class:`WindowedStats` — the shared windowed-telemetry primitive (a
+  ring of fixed event- or virtual-time windows with O(1) updates).  The
+  faults subsystem's :class:`~repro.faults.degrade.DegradationController`
+  is built on it.
+* :class:`HotnessTracker` — recency+frequency page temperature consulted
+  by the demotion path so cold-but-compressible pages sink while hot
+  pages stay warm.
+* :class:`TierController` / :class:`ControlPlane` — the deadband +
+  cooldown policy loop that observes windowed per-tier telemetry and
+  issues bounded ``resize_pool`` / ``retune`` actions against the
+  :class:`~repro.ccache.allocator.TieredAllocator` at runtime.
+
+Everything is deterministic: decisions are pure functions of windowed
+virtual-time telemetry plus a seeded probe stream, so a controller-led
+run replays bit-for-bit (the control digests in the test suite pin
+this).  With no :class:`ControlConfig` installed none of it is
+constructed and the golden digests stay byte-identical.
+"""
+
+from .hotness import HotnessTracker
+from .windowed import WindowedStats
+
+# The controller module imports repro.sim.ledger, and repro.sim
+# transitively imports faults/degrade which imports this package —
+# loading the controller lazily keeps that chain acyclic no matter
+# which module is imported first (same pattern as repro.faults.retry).
+_CONTROLLER_EXPORTS = (
+    "ControlConfig",
+    "ControlCounters",
+    "ControlPlane",
+    "TierController",
+    "TierTelemetry",
+)
+
+
+def __getattr__(name: str):
+    if name in _CONTROLLER_EXPORTS:
+        from . import controller
+
+        return getattr(controller, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ControlConfig",
+    "ControlCounters",
+    "ControlPlane",
+    "HotnessTracker",
+    "TierController",
+    "TierTelemetry",
+    "WindowedStats",
+]

@@ -1,0 +1,85 @@
+"""HotnessTracker: recency+frequency page temperature, not pure LRU.
+
+Ariadne's observation (PAPERS.md) is that pure recency misleads the
+demotion path: a page touched once recently looks "hotter" than a page
+touched fifty times until a moment ago.  The tracker keeps an
+exponentially-decayed access count per page in *virtual* time — each
+touch decays the stored score by ``2^(-Δt / half_life_s)`` and adds one
+— so frequency raises the score and idleness erodes it smoothly.
+
+The demotion path (:meth:`CompressionCache.clean_pages
+<repro.ccache.circular.CompressionCache.clean_pages>`) consults
+:meth:`is_hot` before writing a dirty compressed page out to the colder
+tier: hot pages are deferred to the back of the FIFO (bounded per round,
+so progress is always guaranteed) while cold-but-compressible pages sink
+first.
+
+Determinism: scores are pure functions of the (page, virtual-time) touch
+sequence — same run, same scores, same demotion order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+
+class HotnessTracker:
+    """Exponentially-decayed per-page access scores in virtual time."""
+
+    __slots__ = ("half_life_s", "max_pages", "_scores")
+
+    def __init__(self, half_life_s: float = 4.0, max_pages: int = 65536):
+        if not half_life_s > 0:
+            raise ValueError(f"half_life_s must be > 0, got {half_life_s}")
+        if max_pages < 1:
+            raise ValueError(f"max_pages must be >= 1, got {max_pages}")
+        self.half_life_s = float(half_life_s)
+        self.max_pages = max_pages
+        # page -> (score at last touch, virtual time of last touch)
+        self._scores: Dict[Hashable, Tuple[float, float]] = {}
+
+    def touch(self, page: Hashable, now: float) -> None:
+        """Note one access to ``page`` at virtual time ``now``."""
+        scores = self._scores
+        entry = scores.get(page)
+        if entry is None:
+            if len(scores) >= self.max_pages:
+                # Bound memory by evicting the longest-ago-inserted
+                # entry (dict order); an approximation of
+                # least-recently-touched that stays O(1) and
+                # deterministic.
+                scores.pop(next(iter(scores)))
+            scores[page] = (1.0, now)
+            return
+        score, last = entry
+        decayed = score * 2.0 ** ((last - now) / self.half_life_s)
+        scores[page] = (decayed + 1.0, now)
+
+    def score(self, page: Hashable, now: float) -> float:
+        """Current decayed score for ``page`` (0.0 if never touched)."""
+        entry = self._scores.get(page)
+        if entry is None:
+            return 0.0
+        score, last = entry
+        return score * 2.0 ** ((last - now) / self.half_life_s)
+
+    def is_hot(self, page: Hashable, now: float,
+               threshold: float = 2.0) -> bool:
+        """True when ``page``'s decayed score is at least ``threshold``.
+
+        The default of 2.0 means "touched at least twice within the
+        recent few half-lives" — a single stale touch can never keep a
+        page warm.
+        """
+        entry = self._scores.get(page)
+        if entry is None:
+            return False
+        score, last = entry
+        return score * 2.0 ** ((last - now) / self.half_life_s) >= threshold
+
+    def forget(self, page: Hashable) -> None:
+        """Drop ``page``'s history (e.g. when it is freed)."""
+        self._scores.pop(page, None)
+
+    def __len__(self) -> int:
+        return len(self._scores)

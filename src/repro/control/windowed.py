@@ -1,0 +1,171 @@
+"""WindowedStats: a ring of fixed windows with O(1) rolling totals.
+
+One primitive serves both control loops in the simulator:
+
+* **event mode** (``width_s=None``): every :meth:`record` call occupies
+  one ring slot, so the aggregate always covers exactly the last
+  ``capacity`` events.  This is the sliding window the
+  :class:`~repro.faults.degrade.DegradationController` has always used
+  (a ``deque(maxlen=window)`` plus a running bad count), generalized to
+  named counters.
+* **time mode** (``width_s`` set): each slot covers ``width_s`` seconds
+  of *virtual* time; :meth:`record` takes the current virtual clock and
+  rotates the ring forward, dropping buckets older than
+  ``capacity * width_s`` seconds.  This is what the
+  :class:`~repro.control.controller.TierController` reads its telemetry
+  from.
+
+Totals are maintained incrementally — each :meth:`record` touches only
+the newest slot and subtracts whatever it displaces — so updates are
+O(1) in the window size (O(k) in the number of counter names recorded,
+which is small and fixed per call site).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class WindowedStats:
+    """Named counters aggregated over a ring of fixed windows."""
+
+    __slots__ = ("capacity", "width_s", "_slots", "_totals", "_count",
+                 "_bucket")
+
+    def __init__(self, capacity: int, width_s: Optional[float] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if width_s is not None and not width_s > 0:
+            raise ValueError(f"width_s must be > 0, got {width_s}")
+        self.capacity = capacity
+        self.width_s = width_s
+        # Each slot is ``[n_events, {name: total}]``; the list is used as
+        # a ring only in time mode — event mode appends/pops like the
+        # deque it replaces.
+        self._slots: List[list] = []
+        self._totals: Dict[str, float] = {}
+        self._count = 0
+        # Time mode: index (floor(now / width_s)) of the newest slot.
+        self._bucket: Optional[int] = None
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, now: Optional[float] = None, **counts: float) -> None:
+        """Add one observation.
+
+        Event mode ignores ``now`` and retires the oldest event once the
+        ring is full.  Time mode buckets by ``now // width_s`` and
+        retires whole buckets as the clock moves on; ``now`` must not run
+        backwards (the virtual clock is monotonic).
+        """
+        if self.width_s is None:
+            slot = [1, dict(counts)]
+            slots = self._slots
+            slots.append(slot)
+            if len(slots) > self.capacity:
+                self._retire(slots.pop(0))
+            self._count += 1
+            totals = self._totals
+            for name, value in counts.items():
+                totals[name] = totals.get(name, 0.0) + value
+            return
+
+        bucket = int(now // self.width_s)
+        current = self._bucket
+        if current is None or bucket - current >= self.capacity:
+            # First observation, or the clock jumped past the whole
+            # window: every existing bucket has expired.
+            self.clear()
+            self._slots.append([0, {}])
+            self._bucket = bucket
+        elif bucket > current:
+            slots = self._slots
+            for _ in range(bucket - current):
+                slots.append([0, {}])
+                if len(slots) > self.capacity:
+                    self._retire(slots.pop(0))
+            self._bucket = bucket
+        slot = self._slots[-1]
+        slot[0] += 1
+        self._count += 1
+        slot_counts = slot[1]
+        totals = self._totals
+        for name, value in counts.items():
+            slot_counts[name] = slot_counts.get(name, 0.0) + value
+            totals[name] = totals.get(name, 0.0) + value
+
+    def _retire(self, slot: list) -> None:
+        self._count -= slot[0]
+        totals = self._totals
+        for name, value in slot[1].items():
+            totals[name] -= value
+
+    def advance(self, now: float) -> None:
+        """Time mode only: expire buckets without recording anything.
+
+        Lets a reader observe an idle stream decay instead of seeing
+        stale totals forever.
+        """
+        if self.width_s is None:
+            raise ValueError("advance() requires time mode (width_s set)")
+        if self._bucket is None:
+            return
+        bucket = int(now // self.width_s)
+        if bucket - self._bucket >= self.capacity:
+            self.clear()
+            return
+        slots = self._slots
+        while self._bucket < bucket:
+            slots.append([0, {}])
+            self._bucket += 1
+            if len(slots) > self.capacity:
+                self._retire(slots.pop(0))
+
+    def clear(self) -> None:
+        """Forget everything; the window restarts empty."""
+        self._slots.clear()
+        self._totals.clear()
+        self._count = 0
+        self._bucket = None
+
+    # -- reading ---------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of :meth:`record` calls still inside the window."""
+        return self._count
+
+    def total(self, name: str) -> float:
+        """Sum of ``name`` across the live window (0.0 if never seen)."""
+        return self._totals.get(name, 0.0)
+
+    def fraction(self, name: str) -> float:
+        """``total(name) / count``, or 0.0 for an empty window."""
+        if not self._count:
+            return 0.0
+        return self._totals.get(name, 0.0) / self._count
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``total(numerator) / total(denominator)`` (0.0 when empty)."""
+        denom = self._totals.get(denominator, 0.0)
+        if not denom:
+            return 0.0
+        return self._totals.get(numerator, 0.0) / denom
+
+    @property
+    def span_seconds(self) -> Optional[float]:
+        """Width of the full window in virtual seconds (time mode)."""
+        if self.width_s is None:
+            return None
+        return self.capacity * self.width_s
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict copy of the live totals plus the event count."""
+        out = {"events": float(self._count)}
+        out.update(self._totals)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "events" if self.width_s is None else f"{self.width_s}s"
+        return (f"WindowedStats(capacity={self.capacity}, mode={mode}, "
+                f"count={self._count}, totals={self._totals!r})")

@@ -43,9 +43,12 @@ from .storage.blockfs import PartialWritePolicy
 from .sweep import SweepPoint, run_sweep
 from .tiers.spec import parse_tier_specs
 from .workloads import (
+    AppRelaunchWorkload,
     CacheSimWorkload,
     CompareWorkload,
+    DiurnalWorkload,
     GoldWorkload,
+    MultiProgramWorkload,
     SortWorkload,
     SyntheticWorkload,
     Thrasher,
@@ -570,6 +573,16 @@ def config_from_spec(spec: Mapping[str, Any]) -> MachineConfig:
             raise ValueError(f"unknown costs spec: {costs!r}")
     if "tiers" in spec and spec["tiers"] is not None:
         changes["tiers"] = parse_tier_specs(spec["tiers"])
+    if "tier_l1_frames" in spec:
+        # Convenience for geometry grids: the two-tier preset with an
+        # explicit L1 cap (``None`` = allocator-sized).
+        from .tiers.spec import two_tier_specs
+
+        changes["tiers"] = two_tier_specs(spec["tier_l1_frames"])
+    if "control" in spec and spec["control"] is not None:
+        from .control.controller import ControlConfig
+
+        changes["control"] = ControlConfig.from_dict(spec["control"])
     return MachineConfig(**changes)
 
 
@@ -582,6 +595,12 @@ def workload_from_spec(spec: Mapping[str, Any]) -> Workload:
     """
     kind = spec["kind"]
     kwargs = {k: v for k, v in spec.items() if k != "kind"}
+    if kind == "multiprogram":
+        # Programs are themselves workload specs, decoded recursively.
+        return MultiProgramWorkload(
+            [workload_from_spec(program) for program in kwargs["programs"]],
+            quantum=kwargs.get("quantum", 64),
+        )
     factories: Dict[str, Callable[..., Workload]] = {
         "thrasher": Thrasher,
         "gold": GoldWorkload,
@@ -589,9 +608,11 @@ def workload_from_spec(spec: Mapping[str, Any]) -> Workload:
         "isca": CacheSimWorkload,
         "sort": SortWorkload,
         "synthetic": SyntheticWorkload,
+        "relaunch": AppRelaunchWorkload,
+        "diurnal": DiurnalWorkload,
     }
     if kind not in factories:
-        known = ", ".join(sorted(factories))
+        known = ", ".join(sorted([*factories, "multiprogram"]))
         raise ValueError(f"unknown workload kind {kind!r}; known: {known}")
     return factories[kind](**kwargs)
 
@@ -1251,3 +1272,273 @@ def render_lfs(cells: Mapping[str, Mapping[str, Any]]) -> str:
         title="Log-structured store: batched 32-KB write-outs versus "
               "durable-per-record appends, by device era",
     )
+
+
+# ----------------------------------------------------------------------
+# Closed-loop control: autotuned tier geometry versus every static one
+# ----------------------------------------------------------------------
+#
+# The control plane (repro.control) claims that no fixed tier geometry
+# is right for phase-changing traffic: an app-relaunch storm, a
+# multiprogrammed mix, and a diurnal working set each reward a different
+# L1 cap and warm-pool bias at different times.  This sweep pits one
+# controller-enabled run against a grid of static two-tier geometries on
+# each workload; the verdict compares total charged seconds and the
+# compressed-memory hit rate against the *best* static cell.
+
+#: Import path of the control-comparison runner (see ``repro.sweep``).
+CONTROL_RUNNER = "repro.experiments:run_control_point"
+
+#: Traffic classes of the comparison (column order).
+CONTROL_WORKLOADS: Tuple[str, ...] = ("relaunch", "multiprogram", "diurnal")
+
+#: Static two-tier geometries swept per workload, as L1-cap fractions of
+#: total frames (plus the allocator-sized preset).  The autotuned arm
+#: starts from ``CONTROL_START`` and lets the controller move it.
+CONTROL_GEOMETRIES: Tuple[Tuple[str, Optional[float]], ...] = (
+    ("l1-small", 1 / 24),
+    ("l1-medium", 1 / 8),
+    ("l1-large", 1 / 3),
+)
+
+#: The geometry the autotuned arm starts from (worst-case neutral: the
+#: middle of the static grid).
+CONTROL_START = "l1-medium"
+
+
+def _control_workload_specs(scale: float) -> Dict[str, Mapping[str, Any]]:
+    """The three traffic classes, sized against ``mbytes(6 * scale)``."""
+    return {
+        "relaunch": {
+            "kind": "relaunch",
+            "app_bytes": mbytes(4 * scale),
+            "apps": 3,
+            "sessions": 8,
+        },
+        "multiprogram": {
+            "kind": "multiprogram",
+            "quantum": 64,
+            "programs": [
+                {"kind": "compare", "band_bytes": mbytes(8 * scale),
+                 "round_trips": 2},
+                {"kind": "sort", "data_bytes": mbytes(6 * scale),
+                 "partial": True},
+                {"kind": "synthetic",
+                 "address_space_bytes": mbytes(5 * scale),
+                 "references": max(500, int(30000 * scale))},
+            ],
+        },
+        "diurnal": {
+            "kind": "diurnal",
+            "space_bytes": mbytes(10 * scale),
+            "phases": 6,
+            "passes_per_phase": 2,
+        },
+    }
+
+
+def run_control_point(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    """Sweep runner: one (geometry, workload) cell of the comparison.
+
+    Spec: ``{"config": {...}, "workload": {...}}`` per the decoders
+    above; ``config["control"]`` (when present) enables the closed-loop
+    controller, making the cell the autotuned arm.  Reports total
+    charged seconds, the compressed-memory hit rate, effective memory,
+    and — for the autotuned arm — the controller's action counters.
+    """
+    config = config_from_spec(spec["config"])
+    workload = workload_from_spec(spec["workload"])
+    machine = Machine(config, workload.build())
+    result = SimulationEngine(machine).run(workload.references())
+    faults = result.metrics_snapshot["faults"]
+    total = faults["total"]
+    chain = machine.chain
+    total_frames = machine.frames.total_frames
+    effective = (
+        total_frames - chain.mapped_frames() + chain.compressed_pages()
+    )
+    cell: Dict[str, Any] = {
+        "elapsed_seconds": result.elapsed_seconds,
+        "faults_total": total,
+        "compressed_hit_rate": (
+            faults["from_ccache"] / total if total else 0.0
+        ),
+        "effective_memory_ratio": (
+            effective / total_frames if total_frames else 0.0
+        ),
+        "demoted_pages": chain.demoted_pages(),
+    }
+    if result.control_counters is not None:
+        cell["control"] = result.control_counters
+    return cell
+
+
+def control_points(scale: float) -> List[SweepPoint]:
+    """The (geometry x workload) grid plus one autotuned arm per
+    workload (``sweep --experiment control``)."""
+    memory = mbytes(6 * scale)
+    total_frames = memory // 4096
+    workloads = _control_workload_specs(scale)
+
+    def l1_cap(fraction: float) -> int:
+        return max(8, int(total_frames * fraction))
+
+    start_cap = l1_cap(dict(CONTROL_GEOMETRIES)[CONTROL_START])
+    points: List[SweepPoint] = []
+    for wname, workload in workloads.items():
+        for gname, fraction in CONTROL_GEOMETRIES:
+            points.append(SweepPoint(
+                runner=CONTROL_RUNNER,
+                spec={
+                    "config": {
+                        "memory_bytes": memory,
+                        "tier_l1_frames": l1_cap(fraction),
+                    },
+                    "workload": dict(workload),
+                },
+                key=f"control/{wname}/{gname}",
+            ))
+        points.append(SweepPoint(
+            runner=CONTROL_RUNNER,
+            spec={
+                "config": {
+                    "memory_bytes": memory,
+                    "tier_l1_frames": start_cap,
+                    "control": {"seed": 0},
+                },
+                "workload": dict(workload),
+            },
+            key=f"control/{wname}/autotuned",
+        ))
+    return points
+
+
+def render_control(cells: Mapping[str, Mapping[str, Any]]) -> str:
+    """The control-comparison table plus per-workload verdict lines.
+
+    Tolerates partial grids: missing cells render as ``-`` and their
+    workload's verdict line is skipped.  The verdict compares the
+    autotuned arm against the *best* static geometry by total charged
+    seconds (ties broken toward static), with the hit rate as the
+    secondary axis the issue's acceptance criterion allows.
+    """
+    arms = [name for name, _ in CONTROL_GEOMETRIES] + ["autotuned"]
+    rows = []
+    for wname in CONTROL_WORKLOADS:
+        for arm in arms:
+            cell = cells.get(f"control/{wname}/{arm}")
+            if cell is None:
+                rows.append([wname, arm, "-", "-", "-", "-"])
+                continue
+            control = cell.get("control") or {}
+            actions = control.get("actions")
+            rows.append([
+                wname,
+                arm,
+                f"{cell['elapsed_seconds']:.2f}",
+                f"{cell['compressed_hit_rate'] * 100:.1f}%",
+                f"{cell['effective_memory_ratio']:.2f}",
+                str(actions) if actions is not None else "-",
+            ])
+    block = render_table(
+        ["workload", "geometry", "charged (s)", "compressed hit rate",
+         "effective memory", "control actions"],
+        rows,
+        title="Closed-loop control: autotuned geometry versus the "
+              "static grid",
+    )
+    verdicts = []
+    for wname in CONTROL_WORKLOADS:
+        autotuned = cells.get(f"control/{wname}/autotuned")
+        static = {
+            gname: cells.get(f"control/{wname}/{gname}")
+            for gname, _ in CONTROL_GEOMETRIES
+        }
+        static = {k: v for k, v in static.items() if v is not None}
+        if autotuned is None or not static:
+            continue
+        best = min(static, key=lambda k: static[k]["elapsed_seconds"])
+        best_cell = static[best]
+        wins = (
+            autotuned["elapsed_seconds"] < best_cell["elapsed_seconds"]
+            or autotuned["compressed_hit_rate"]
+            > best_cell["compressed_hit_rate"]
+        )
+        verdicts.append(
+            f"control verdict {wname}: autotuned "
+            f"{autotuned['elapsed_seconds']:.2f}s "
+            f"(hit {autotuned['compressed_hit_rate'] * 100:.1f}%) vs "
+            f"best static {best} {best_cell['elapsed_seconds']:.2f}s "
+            f"(hit {best_cell['compressed_hit_rate'] * 100:.1f}%) -- "
+            f"autotuned {'wins' if wins else 'does not win'}"
+        )
+    if verdicts:
+        block += "\n\n" + "\n".join(verdicts)
+    return block
+
+
+# ----------------------------------------------------------------------
+# Experiment registry: the single source the CLI derives its
+# ``sweep --experiment`` choices (and render dispatch) from
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One sweep-shaped experiment the CLI can run by name.
+
+    Attributes:
+        name: the ``--experiment`` token.
+        points: builds the sweep grid; called as ``points(scale,
+            options)`` where ``options`` carries experiment-specific
+            CLI extras (``mode``/``seed`` for figure3; ignored by the
+            rest).
+        render: optional table renderer over completed cells by key;
+            ``None`` leaves the raw per-point JSON lines as the only
+            output (figure3/table1/ablations have their own dedicated
+            subcommands for rendered tables).
+    """
+
+    name: str
+    points: Callable[[float, Mapping[str, Any]], List[SweepPoint]]
+    render: Optional[Callable[[Mapping[str, Mapping[str, Any]]], str]] = None
+
+
+def _figure3_experiment_points(
+    scale: float, options: Mapping[str, Any]
+) -> List[SweepPoint]:
+    modes = {"rw": [True], "ro": [False], "both": [False, True]}[
+        options.get("mode", "both")
+    ]
+    points: List[SweepPoint] = []
+    for write in modes:
+        points.extend(figure3_points(
+            write=write, scale=scale, seed=options.get("seed", 0)
+        ))
+    return points
+
+
+#: Every experiment ``sweep --experiment`` accepts, in display order.
+#: The CLI derives its argparse choices and render dispatch from this
+#: table — add an entry here and the command-line surface follows (a
+#: drift test pins the equivalence).
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.name: exp
+    for exp in (
+        Experiment("figure3", _figure3_experiment_points),
+        Experiment("table1", lambda scale, _opts: table1_points(scale=scale)),
+        Experiment("ablations", lambda scale, _opts: ablation_points(scale)),
+        Experiment("tiers", lambda scale, _opts: tiers_points(scale)),
+        Experiment("kernels", lambda scale, _opts: kernels_points(scale),
+                   render=render_kernels),
+        Experiment("lfs", lambda scale, _opts: lfs_points(scale),
+                   render=render_lfs),
+        Experiment("control", lambda scale, _opts: control_points(scale),
+                   render=render_control),
+    )
+}
+
+
+def experiment_names() -> Tuple[str, ...]:
+    """The registry's names, in display order."""
+    return tuple(EXPERIMENTS)

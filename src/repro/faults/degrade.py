@@ -25,9 +25,9 @@ giving the substrate a fresh chance.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 
+from ..control.windowed import WindowedStats
 from .plan import DegradationConfig
 
 
@@ -124,12 +124,15 @@ class DegradationController:
 
     config: DegradationConfig
     resilience: ResilienceCounters
-    _events: deque = field(init=False)
-    _bad: int = field(default=0, init=False)
+    _window: WindowedStats = field(init=False)
     _cooldown_left: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
-        self._events = deque(maxlen=self.config.window)
+        # Event-mode WindowedStats is exactly the sliding window this
+        # controller has always kept (deque(maxlen=window) plus a
+        # running bad count) — the shared primitive the whole control
+        # plane now runs on.
+        self._window = WindowedStats(self.config.window)
 
     @property
     def degraded(self) -> bool:
@@ -149,21 +152,14 @@ class DegradationController:
         """
         if self._cooldown_left:
             return
-        events = self._events
-        # Keep a running bad-event count so each record() is O(1), not
-        # an O(window) rescan — this runs once per eviction.
-        if len(events) == events.maxlen and not events[0]:
-            self._bad -= 1
-        events.append(ok)
-        if not ok:
-            self._bad += 1
-        count = len(events)
+        window = self._window
+        window.record(bad=0 if ok else 1)
+        count = window.count
         if count < self.config.min_events:
             return
-        if self._bad / count >= self.config.fault_threshold:
+        if window.total("bad") / count >= self.config.fault_threshold:
             self._cooldown_left = self.config.cooldown_evictions
-            events.clear()
-            self._bad = 0
+            window.clear()
             self.resilience.degradation_entries += 1
 
     def note_bypassed_eviction(self) -> None:

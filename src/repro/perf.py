@@ -557,6 +557,97 @@ def bench_fault_overhead(
     }
 
 
+def bench_control(
+    scale: float = 0.05,
+    reps: int = 8,
+    baseline_path: Optional[Path] = None,
+) -> Dict:
+    """Measure what the control plane costs when it is not enabled.
+
+    Mirrors :func:`bench_fault_overhead` for the closed-loop controller
+    (repro.control):
+
+    * ``vs_baseline_percent`` — the gate: how far the default
+      (controller-off) thrasher throughput falls below the committed
+      ``sim_pages_per_second`` floor, which predates the control plane.
+      The disabled path is one ``None`` check per reference in the
+      engine plus ``None`` checks on the fault/demotion paths, so
+      staying at the pre-control floor confirms the disabled overhead
+      is within the <2% target.  ``None`` when the baseline lacks a
+      matching-scale thrasher floor.
+    * ``enabled_ab_percent`` — a same-process A/B against a run with
+      the controller fully enabled (hotness tracking, telemetry, and
+      the evaluation tick all engage).  This bounds the cost of turning
+      the loop on, a strict superset of the disabled work.
+    """
+    from .cli import WORKLOAD_FACTORIES  # late import: cli imports us
+    from .control.controller import ControlConfig
+
+    factory = WORKLOAD_FACTORIES["thrasher"]
+    enabled = ControlConfig()
+    inner = 5
+
+    def prepare(control: Optional[ControlConfig]):
+        prepared = []
+        for _ in range(inner):
+            workload = factory(scale)
+            machine = Machine(
+                MachineConfig(memory_bytes=mbytes(6 * scale),
+                              control=control),
+                workload.build(),
+            )
+            prepared.append((SimulationEngine(machine),
+                             list(workload.references())))
+        return prepared
+
+    def sample(control: Optional[ControlConfig]) -> Tuple[float, int]:
+        prepared = prepare(control)
+        refs = sum(len(r) for _, r in prepared)
+        t0 = _perf_counter()
+        for engine, ref_list in prepared:
+            engine.run(iter(ref_list))
+        return _perf_counter() - t0, refs
+
+    # Warm up BOTH arms (shared kernel-result cache).
+    sample(None)
+    sample(enabled)
+    t_disabled = float("inf")
+    t_enabled = float("inf")
+    refs_per_sample = 0
+    for _ in range(max(1, reps)):
+        wall, refs_per_sample = sample(None)
+        t_disabled = min(t_disabled, wall)
+        wall, _ = sample(enabled)
+        t_enabled = min(t_enabled, wall)
+    enabled_ab = max(0.0, (t_enabled - t_disabled) / t_disabled * 100.0)
+    pages_per_second = refs_per_sample / t_disabled
+
+    vs_baseline: Optional[float] = None
+    floor = None
+    if baseline_path is not None and baseline_path.is_file():
+        baseline = json.loads(baseline_path.read_text())
+        floors = baseline.get("sim_pages_per_second") or {}
+        if baseline.get("sim_scale") == scale and "thrasher" in floors:
+            floor = floors["thrasher"]
+            vs_baseline = max(
+                0.0, (floor - pages_per_second) / floor * 100.0
+            )
+
+    return {
+        "workload": "thrasher",
+        "scale": scale,
+        "reps": reps,
+        "disabled_wall_seconds": round(t_disabled, 4),
+        "enabled_wall_seconds": round(t_enabled, 4),
+        "disabled_pages_per_second": round(pages_per_second, 1),
+        "baseline_floor_pages_per_second": floor,
+        "vs_baseline_percent": (
+            None if vs_baseline is None else round(vs_baseline, 2)
+        ),
+        "enabled_ab_percent": round(enabled_ab, 2),
+    }
+
+
 def bench_adaptive(
     scale: float = 0.05,
     reps: int = 8,
@@ -1001,6 +1092,23 @@ def run_harness(
         else:
             echo(f"  fault-layer overhead when disabled: <= "
                  f"{overhead['inert_ab_percent']:.1f}% (inert-plan A/B "
+                 f"bound; no matching-scale floor in {baseline_path})")
+        echo("control-plane overhead (disabled vs enabled, same "
+             "process) ...")
+        control = bench_control(
+            scale=0.05, reps=5 if quick else 8,
+            baseline_path=baseline_path,
+        )
+        sim["control"] = control
+        control_vs = control["vs_baseline_percent"]
+        if control_vs is not None:
+            echo(f"  control-plane overhead when disabled: "
+                 f"{control_vs:.1f}% vs {baseline_path} thrasher floor "
+                 f"(target < 2%); enabled A/B bound: "
+                 f"{control['enabled_ab_percent']:.1f}%")
+        else:
+            echo(f"  control-plane overhead when disabled: <= "
+                 f"{control['enabled_ab_percent']:.1f}% (enabled A/B "
                  f"bound; no matching-scale floor in {baseline_path})")
         sim_path = out_dir / "BENCH_sim.json"
         sim_path.write_text(json.dumps(sim, indent=2) + "\n")

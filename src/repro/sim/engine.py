@@ -72,6 +72,11 @@ class RunResult:
     #: unless some tier selects adaptively — default runs keep their
     #: serialized form (and digests) unchanged.
     selection_counters: Optional[Dict[str, object]] = None
+    #: Closed-loop controller counters and action log; ``None`` unless a
+    #: :class:`~repro.control.controller.ControlConfig` was installed —
+    #: controller-off runs keep their serialized form (and every golden
+    #: digest) unchanged.
+    control_counters: Optional[Dict[str, object]] = None
 
     @property
     def sampler_hit_rate(self) -> float:
@@ -120,6 +125,8 @@ class RunResult:
             payload["tiers"] = self.tier_counters
         if self.selection_counters is not None:
             payload["selection"] = self.selection_counters
+        if self.control_counters is not None:
+            payload["control"] = self.control_counters
         return _jsonable(payload)
 
 
@@ -178,6 +185,8 @@ class SimulationEngine:
         charge = ledger.charge
         default_mutation = self._default_mutation
         base = TimeCategory.BASE
+        control = machine.control
+        note_ref = control.note_reference if control is not None else None
         if max_references is not None:
             # islice instead of a per-reference bounds check in the loop.
             references = islice(references, max_references)
@@ -185,6 +194,8 @@ class SimulationEngine:
         for ref in references:
             seen += 1
             touch(ref.page_id, ref.write)
+            if note_ref is not None:
+                note_ref(ref.page_id)
             if observer is not None and seen % observe_every == 0:
                 observer(machine, seen)
             if ref.write:
@@ -235,6 +246,8 @@ class SimulationEngine:
         charge = ledger.charge
         default_mutation = self._default_mutation
         base = TimeCategory.BASE
+        control = machine.control
+        note_ref = control.note_reference if control is not None else None
         interned: Dict[tuple, PageId] = {}
         remaining = max_references
         seen = 0
@@ -250,6 +263,8 @@ class SimulationEngine:
                 if page_id is None:
                     page_id = interned[key] = PageId(segment, number)
                 touch(page_id, bool(write))
+                if note_ref is not None:
+                    note_ref(page_id)
                 if observer is not None and seen % observe_every == 0:
                     observer(machine, seen)
                 if write:
@@ -312,6 +327,11 @@ class SimulationEngine:
                 machine.chain.snapshot() if machine.explicit_tiers else None
             ),
             selection_counters=self._selection_counters(),
+            control_counters=(
+                machine.control.counters.snapshot()
+                if machine.control is not None
+                else None
+            ),
         )
 
     def _selection_counters(self) -> Optional[Dict[str, object]]:

@@ -33,6 +33,7 @@ class TimeCategory(enum.Enum):
     GC = "gc"                      # compressed-swap garbage collection
     RETRY_BACKOFF = "retry-backoff"  # waits between failed-I/O attempts
     DEMOTE = "demote"              # inter-tier recompression (N-tier chains)
+    CONTROL = "control"            # closed-loop controller evaluations
 
 
 class Ledger:

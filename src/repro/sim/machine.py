@@ -27,6 +27,7 @@ from ..ccache.threshold import AdaptiveCompressionGate
 from ..compression import create as create_compressor
 from ..compression.sampler import CompressionSampler
 from ..compression.stats import CompressionThreshold
+from ..control.controller import ControlConfig, ControlPlane, TierTelemetry
 from ..faults.degrade import DegradationController, ResilienceCounters
 from ..faults.device import FaultyDevice
 from ..faults.plan import FaultPlan
@@ -127,6 +128,10 @@ class MachineConfig:
     #: configuration — builds the single compression cache from the
     #: ``compressor``/``ccache_max_frames``/``cleaner`` fields above.
     tiers: Optional[Tuple[TierSpec, ...]] = None
+    #: Closed-loop controller configuration (see :mod:`repro.control`);
+    #: ``None`` (the default) builds no control machinery at all and
+    #: leaves the hot path — and every golden digest — untouched.
+    control: Optional[ControlConfig] = None
 
     def __post_init__(self) -> None:
         if self.tiers is not None:
@@ -157,7 +162,7 @@ class MachineConfig:
 
     def baseline(self) -> "MachineConfig":
         """The matching unmodified-system configuration."""
-        return self.variant(compression_cache=False)
+        return self.variant(compression_cache=False, control=None)
 
 
 class Machine:
@@ -264,6 +269,22 @@ class Machine:
             )
         external = config.vm_architecture == "external-pager"
         self.pager = None
+
+        #: Control plane and its telemetry; ``None`` unless configured
+        #: (telemetry alone is also built for explicit-tier monolithic
+        #: runs so ``repro run --json`` can report per-tier hit rates).
+        self.control: Optional[ControlPlane] = None
+        self.telemetry: Optional[TierTelemetry] = None
+        if config.control is not None:
+            if not config.compression_cache:
+                raise VmConfigurationError(
+                    "the control plane requires the compression cache"
+                )
+            if external:
+                raise VmConfigurationError(
+                    "the control plane requires the monolithic VM "
+                    "architecture"
+                )
 
         if config.compression_cache:
             exact = config.exact_compression or config.paranoid
@@ -411,6 +432,30 @@ class Machine:
                 self.vm.metrics.compression.threshold = CompressionThreshold(
                     config.threshold_factor
                 )
+                if config.control is not None or self.explicit_tiers:
+                    cc = config.control
+                    self.telemetry = TierTelemetry(
+                        window_s=cc.window_s if cc is not None else 0.1,
+                        windows=cc.windows if cc is not None else 8,
+                    )
+                    self.vm.telemetry = self.telemetry
+                if config.control is not None:
+                    self.control = ControlPlane(
+                        config.control,
+                        self.ledger,
+                        self.allocator,
+                        self.chain,
+                        self.vm.metrics,
+                        self.telemetry,
+                        total_frames,
+                        config.min_resident_frames,
+                    )
+                    if self.control.hotness is not None:
+                        for tier in self.chain.tiers:
+                            tier.cache.hot_filter = self.control.hot_filter
+                            tier.cache.hot_skip_budget = (
+                                config.control.hot_skip_budget
+                            )
         elif external:
             from ..pager.default import DefaultPager
             from ..vm.external import ExternalPagerVM
@@ -482,3 +527,5 @@ class Machine:
             self.vm.metrics.compression.threshold = CompressionThreshold(
                 self.config.threshold_factor
             )
+        if self.control is not None:
+            self.control.rebind_metrics(self.vm.metrics)

@@ -168,6 +168,9 @@ class CompressedVM(BaseVM):
             )
             frame = self._obtain_frame()
             self._charge_decompress(pte, payload, tier)
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.note_tier_hit(tier.name, self.ledger.now)
             source = FaultSource.CCACHE
         elif self._valid_on_fragstore(pte):
             fetched = self._fetch_fragment(pte)

@@ -59,6 +59,9 @@ class BaseVM(ABC):
         self.min_resident_frames = min_resident_frames
         self.metrics = SimulationMetrics()
         self._resident: LruList[PageId] = LruList()
+        #: Control-plane fault telemetry (host-side accounting only —
+        #: never charges the clock); ``None`` on every default machine.
+        self.telemetry = None
         allocator.register(FrameOwner.VM, self)
 
     # ------------------------------------------------------------------
@@ -132,6 +135,9 @@ class BaseVM(ABC):
             self.metrics.faults.from_swap += 1
         else:
             self.metrics.faults.zero_fill += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.note_fault(source.value, self.ledger.now)
 
     def _obtain_frame(self) -> int:
         """Get a physical frame for a faulting page."""

@@ -2,16 +2,20 @@
 
 from .base import Workload
 from .compare import CompareWorkload
+from .diurnal import DiurnalWorkload
 from .gold import GoldWorkload
 from .isca import CacheSimWorkload
 from .multiprogram import MultiProgramWorkload
+from .relaunch import AppRelaunchWorkload
 from .sortw import SortWorkload
 from .synthetic import SyntheticWorkload
 from .thrasher import Thrasher
 
 __all__ = [
+    "AppRelaunchWorkload",
     "CacheSimWorkload",
     "CompareWorkload",
+    "DiurnalWorkload",
     "GoldWorkload",
     "MultiProgramWorkload",
     "SortWorkload",

@@ -1,0 +1,342 @@
+"""TierController policy: deadband, cooldown, veto, bounded actions.
+
+These are unit tests against small fakes — the allocator records the
+calls it receives and mirrors cap changes into the fake tier cache, so
+every branch of the policy can be driven precisely.  End-to-end wiring
+(real machine, real chain) is covered by test_machine_control.py.
+"""
+
+import pytest
+
+from repro.control.controller import (
+    ControlConfig,
+    ControlCounters,
+    TierController,
+    TierTelemetry,
+)
+from repro.mem.frames import FrameOwner
+
+
+class FakeCache:
+    def __init__(self, nframes, max_frames):
+        self.nframes = nframes
+        self.max_frames = max_frames
+
+
+class FakeTier:
+    def __init__(self, name, nframes, max_frames):
+        self.name = name
+        self.cache = FakeCache(nframes, max_frames)
+
+
+class FakeChain:
+    def __init__(self, *tiers):
+        self.tiers = list(tiers)
+        self.warmest = tiers[0]
+
+
+class FakePolicy:
+    def terms_for(self, _key):
+        return (2.0, 0.0)
+
+
+class FakeAllocator:
+    """Records calls; mirrors resizes into the registered fake cache."""
+
+    def __init__(self, cache=None, released_per_shrink=0):
+        self.policy = FakePolicy()
+        self.cache = cache
+        self.released = released_per_shrink
+        self.calls = []
+
+    def resize_pool(self, key, max_frames):
+        old = self.cache.max_frames
+        self.calls.append(("resize", key, max_frames))
+        self.cache.max_frames = max_frames
+        return self.released if max_frames < old else 0
+
+    def retune(self, key, weight=None, bias_s=None):
+        self.calls.append(("retune", key, weight, bias_s))
+        return (weight, bias_s or 0.0)
+
+
+def make_controller(config=None, nframes=90, max_frames=100,
+                    total_frames=400, second_tier_capped=False):
+    config = config or ControlConfig()
+    if second_tier_capped:
+        l1 = FakeTier("l1", nframes, None)
+        l2 = FakeTier("l2", nframes, max_frames)
+        chain = FakeChain(l1, l2)
+        capped = l2
+    else:
+        capped = FakeTier("l1", nframes, max_frames)
+        chain = FakeChain(capped, FakeTier("l2", 5, None))
+    allocator = FakeAllocator(cache=capped.cache, released_per_shrink=3)
+    telemetry = TierTelemetry(window_s=config.window_s,
+                              windows=config.windows)
+    counters = ControlCounters(log_limit=config.log_limit)
+    controller = TierController(
+        config, allocator, chain, telemetry, counters, total_frames
+    )
+    return controller, allocator, telemetry, counters
+
+
+def feed_misses(telemetry, now, n=20):
+    """Windowed demand faults that all went to the backing store."""
+    for _ in range(n):
+        telemetry.note_fault("fragstore", now)
+
+
+def feed_hits(telemetry, now, n=20):
+    """Windowed demand faults all served from the compressed tiers."""
+    for _ in range(n):
+        telemetry.note_fault("ccache", now)
+
+
+class TestSkips:
+    def test_quiet_window_never_acts(self):
+        controller, allocator, telemetry, counters = make_controller()
+        feed_misses(telemetry, 1.0, n=3)  # below min_window_faults
+        controller.evaluate(1.0)
+        assert counters.quiet_skips == 1
+        assert counters.actions == 0
+        assert allocator.calls == []
+
+    def test_zero_fills_do_not_count_as_demand(self):
+        controller, _, telemetry, counters = make_controller()
+        for _ in range(50):
+            telemetry.note_fault("zero-fill", 1.0)
+        controller.evaluate(1.0)
+        assert counters.quiet_skips == 1
+
+    def test_in_band_miss_is_a_deadband_skip(self):
+        controller, allocator, telemetry, counters = make_controller()
+        # 25% misses == the target: inside the band.
+        feed_misses(telemetry, 1.0, n=5)
+        feed_hits(telemetry, 1.0, n=15)
+        controller.evaluate(1.0)
+        assert counters.deadband_skips == 1
+        assert allocator.calls == []
+
+    def test_cooldown_blocks_consecutive_actions(self):
+        config = ControlConfig(cooldown_s=10.0)
+        controller, allocator, telemetry, counters = make_controller(config)
+        feed_misses(telemetry, 1.0)
+        controller.evaluate(1.0)
+        assert counters.actions == 1
+        feed_misses(telemetry, 1.5)
+        controller.evaluate(1.5)
+        assert counters.cooldown_skips == 1
+        assert counters.actions == 1
+        # Past the cooldown the controller may act again.
+        feed_misses(telemetry, 12.0)
+        controller.evaluate(12.0)
+        assert counters.actions == 2
+
+
+class TestHighMiss:
+    def test_full_tier_grows(self):
+        controller, allocator, telemetry, counters = make_controller(
+            nframes=95, max_frames=100
+        )
+        feed_misses(telemetry, 1.0)
+        controller.evaluate(1.0)
+        assert counters.grows == 1
+        assert allocator.calls == [
+            ("resize", FrameOwner.COMPRESSION,
+             100 + controller.config.resize_step_frames)
+        ]
+        assert counters.log[0]["action"] == "grow"
+
+    def test_underfull_tier_rebiases_instead(self):
+        """Misses are high but the capped tier is not full: growing the
+        cap would change nothing, so the warm weight drops (favoring
+        compressed pages in the global trade)."""
+        controller, allocator, telemetry, counters = make_controller(
+            nframes=10, max_frames=100
+        )
+        feed_misses(telemetry, 1.0)
+        controller.evaluate(1.0)
+        assert counters.retunes == 1
+        call = allocator.calls[0]
+        assert call[:2] == ("retune", FrameOwner.COMPRESSION)
+        assert call[2] == pytest.approx(2.0 / controller.config.weight_step)
+
+    def test_ratio_veto_relaxes_instead_of_growing(self):
+        """Compression above the ceiling: more compressed memory will
+        not help, so the controller relaxes the warm weight upward."""
+        controller, allocator, telemetry, counters = make_controller(
+            nframes=95, max_frames=100
+        )
+        feed_misses(telemetry, 1.0)
+        telemetry.note_deltas(1.0, comp_bytes_in=1000.0,
+                              comp_bytes_out=950.0)  # 95% > 85% ceiling
+        controller.evaluate(1.0)
+        assert counters.ratio_vetoes == 1
+        assert counters.grows == 0
+        call = allocator.calls[0]
+        assert call[:2] == ("retune", FrameOwner.COMPRESSION)
+        assert call[2] == pytest.approx(2.0 * controller.config.weight_step)
+
+    def test_grow_respects_cap_limit(self):
+        """total_frames - min_resident - 2 bounds the cap; at the bound
+        the grow falls through to a retune."""
+        controller, allocator, telemetry, counters = make_controller(
+            nframes=395, max_frames=396, total_frames=400
+        )
+        feed_misses(telemetry, 1.0)
+        controller.evaluate(1.0)
+        assert counters.grows == 0
+        assert allocator.calls[0][0] == "retune"
+
+
+class TestLowMiss:
+    def test_idle_tier_shrinks_and_counts_released_frames(self):
+        controller, allocator, telemetry, counters = make_controller(
+            nframes=10, max_frames=100
+        )
+        feed_hits(telemetry, 1.0)
+        controller.evaluate(1.0)
+        assert counters.shrinks == 1
+        assert counters.frames_released == 3  # the fake's per-shrink toll
+        assert allocator.calls == [
+            ("resize", FrameOwner.COMPRESSION,
+             100 - controller.config.resize_step_frames)
+        ]
+
+    def test_busy_tier_is_not_shrunk(self):
+        """Low misses with a full tier: the frames are earning their
+        keep, and the weight is already at baseline — nothing to do."""
+        controller, allocator, telemetry, counters = make_controller(
+            nframes=95, max_frames=100
+        )
+        feed_hits(telemetry, 1.0)
+        controller.evaluate(1.0)
+        assert counters.actions == 0
+        assert allocator.calls == []
+
+    def test_shrink_never_goes_below_min_tier_frames(self):
+        config = ControlConfig(min_tier_frames=8, resize_step_frames=8)
+        controller, allocator, telemetry, counters = make_controller(
+            config, nframes=1, max_frames=8
+        )
+        feed_hits(telemetry, 1.0)
+        controller.evaluate(1.0)
+        assert counters.shrinks == 0
+        assert all(call[0] != "resize" for call in allocator.calls)
+
+    def test_weight_relaxes_back_toward_baseline(self):
+        config = ControlConfig(cooldown_s=0.01)
+        controller, allocator, telemetry, counters = make_controller(
+            config, nframes=95, max_frames=100
+        )
+        # Drive the weight down first (high miss, tier full -> grows; at
+        # cap limit -> retunes down).  Simpler: call the retune directly.
+        controller._retune_warm(1.0, 1.0)
+        assert controller._warm_weight == 1.0
+        feed_hits(telemetry, 2.0)
+        controller.evaluate(2.0)
+        retunes = [c for c in allocator.calls if c[0] == "retune"]
+        assert retunes[-1][2] == pytest.approx(2.0)  # back at baseline
+
+
+class TestTargetsAndBounds:
+    def test_second_tier_capped_targets_cc_label(self):
+        controller, allocator, telemetry, counters = make_controller(
+            nframes=95, max_frames=100, second_tier_capped=True
+        )
+        feed_misses(telemetry, 1.0)
+        controller.evaluate(1.0)
+        assert allocator.calls[0][1] == "cc:l2"
+
+    def test_no_capped_tier_means_no_resizes(self):
+        l1 = FakeTier("l1", 50, None)
+        chain = FakeChain(l1)
+        allocator = FakeAllocator(cache=l1.cache)
+        config = ControlConfig()
+        telemetry = TierTelemetry()
+        counters = ControlCounters()
+        controller = TierController(
+            config, allocator, chain, telemetry, counters, 400
+        )
+        feed_misses(telemetry, 1.0)
+        controller.evaluate(1.0)
+        # Only a retune is possible.
+        assert all(call[0] == "retune" for call in allocator.calls)
+
+    def test_retune_clamps_at_min_weight(self):
+        config = ControlConfig(min_weight=0.5)
+        controller, allocator, telemetry, counters = make_controller(config)
+        assert controller._retune_warm(1.0, 0.001)
+        assert controller._warm_weight == 0.5
+        # Already clamped: a further push down is a no-op, not an action.
+        assert not controller._retune_warm(2.0, 0.001)
+
+    def test_action_log_is_bounded(self):
+        config = ControlConfig(log_limit=2, cooldown_s=0.001)
+        controller, allocator, telemetry, counters = make_controller(
+            config, nframes=95, max_frames=16, total_frames=4000
+        )
+        for step in range(5):
+            now = 1.0 + step
+            feed_misses(telemetry, now)
+            controller.evaluate(now)
+        assert len(counters.log) == 2
+        assert counters.log_dropped == counters.actions - 2
+
+
+class TestProbing:
+    def test_probe_stream_is_seeded_and_deterministic(self):
+        def run():
+            config = ControlConfig(probe_every=1, seed=7,
+                                   cooldown_s=0.001)
+            controller, allocator, telemetry, _ = make_controller(
+                config, nframes=70, max_frames=100
+            )
+            for step in range(6):
+                now = 1.0 + step
+                # In-band traffic so every evaluation is a deadband
+                # skip that triggers the probe path.
+                feed_misses(telemetry, now, n=5)
+                feed_hits(telemetry, now, n=15)
+                controller.evaluate(now)
+            return allocator.calls
+
+        assert run() == run()
+
+    def test_probing_disabled_by_default(self):
+        controller, allocator, telemetry, counters = make_controller()
+        for step in range(10):
+            now = 1.0 + step
+            feed_misses(telemetry, now, n=5)
+            feed_hits(telemetry, now, n=15)
+            controller.evaluate(now)
+        assert counters.probes == 0
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            ControlConfig(interval_s=0.0)
+        with pytest.raises(ValueError, match="target_miss_fraction"):
+            ControlConfig(target_miss_fraction=1.5)
+        with pytest.raises(ValueError, match="deadband"):
+            ControlConfig(deadband=0.5)
+        with pytest.raises(ValueError, match="weight_step"):
+            ControlConfig(weight_step=1.0)
+        with pytest.raises(ValueError, match="min_weight"):
+            ControlConfig(min_weight=0.0)
+        with pytest.raises(ValueError, match="max_tier_frames"):
+            ControlConfig(max_tier_frames=2, min_tier_frames=8)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown ControlConfig"):
+            ControlConfig.from_dict({"no_such_knob": 1})
+
+    def test_from_dict_round_trip(self):
+        config = ControlConfig.from_dict(
+            {"interval_s": 0.2, "seed": 3, "hotness": False}
+        )
+        assert config.interval_s == 0.2
+        assert config.seed == 3
+        assert config.hotness is False

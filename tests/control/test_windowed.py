@@ -1,0 +1,120 @@
+"""WindowedStats: both modes, retirement accounting, edge cases."""
+
+import pytest
+
+from repro.control.windowed import WindowedStats
+
+
+class TestEventMode:
+    def test_counts_and_totals_accumulate(self):
+        w = WindowedStats(4)
+        w.record(bad=1)
+        w.record(bad=0)
+        w.record(bad=1)
+        assert w.count == 3
+        assert w.total("bad") == 2
+        assert w.fraction("bad") == pytest.approx(2 / 3)
+
+    def test_ring_retires_oldest_event(self):
+        """Exactly the ``deque(maxlen=n)`` the degradation controller
+        always used: the aggregate covers the last ``capacity`` events,
+        no more, no fewer."""
+        w = WindowedStats(3)
+        for bad in (1, 1, 1, 0, 0, 0):
+            w.record(bad=bad)
+        assert w.count == 3
+        assert w.total("bad") == 0
+
+    def test_count_is_stable_once_full(self):
+        """Regression: retiring a slot must not shrink the live count
+        below capacity (each record retires one and adds one)."""
+        w = WindowedStats(2)
+        for _ in range(10):
+            w.record(x=1)
+            assert w.count <= 2
+        assert w.count == 2
+        assert w.total("x") == 2
+
+    def test_clear_restarts_empty(self):
+        w = WindowedStats(4)
+        w.record(bad=1)
+        w.clear()
+        assert w.count == 0
+        assert w.total("bad") == 0.0
+        assert w.fraction("bad") == 0.0
+
+    def test_advance_is_time_mode_only(self):
+        with pytest.raises(ValueError, match="time mode"):
+            WindowedStats(4).advance(1.0)
+
+    def test_span_is_none_without_width(self):
+        assert WindowedStats(4).span_seconds is None
+
+    def test_snapshot_copies_totals(self):
+        w = WindowedStats(4)
+        w.record(a=2, b=3)
+        snap = w.snapshot()
+        assert snap == {"events": 1.0, "a": 2, "b": 3}
+        snap["a"] = 99
+        assert w.total("a") == 2
+
+
+class TestTimeMode:
+    def test_buckets_by_virtual_time(self):
+        w = WindowedStats(4, width_s=1.0)
+        w.record(0.1, hits=1)
+        w.record(0.9, hits=1)  # same bucket
+        w.record(1.5, hits=1)  # next bucket
+        assert w.count == 3
+        assert w.total("hits") == 3
+        assert w.span_seconds == 4.0
+
+    def test_old_buckets_expire_as_clock_moves(self):
+        w = WindowedStats(2, width_s=1.0)
+        w.record(0.0, hits=1)
+        w.record(1.0, hits=10)
+        w.record(2.0, hits=100)  # bucket 0 retires
+        assert w.total("hits") == 110
+
+    def test_clock_jump_past_window_clears_everything(self):
+        w = WindowedStats(4, width_s=1.0)
+        w.record(0.0, hits=1)
+        w.record(100.0, hits=5)
+        assert w.count == 1
+        assert w.total("hits") == 5
+
+    def test_advance_expires_without_recording(self):
+        w = WindowedStats(2, width_s=1.0)
+        w.record(0.0, hits=7)
+        w.advance(0.5)
+        assert w.total("hits") == 7
+        w.advance(2.0)  # bucket 0 now out of the 2-bucket window
+        assert w.total("hits") == 0
+        assert w.count == 0
+
+    def test_advance_far_ahead_clears(self):
+        w = WindowedStats(4, width_s=0.5)
+        w.record(0.0, hits=3)
+        w.advance(1000.0)
+        assert w.count == 0
+
+    def test_advance_before_any_record_is_a_noop(self):
+        w = WindowedStats(4, width_s=1.0)
+        w.advance(5.0)
+        assert w.count == 0
+
+    def test_ratio(self):
+        w = WindowedStats(4, width_s=1.0)
+        w.record(0.0, out=30, inn=100)
+        assert w.ratio("out", "inn") == pytest.approx(0.3)
+        assert w.ratio("out", "never") == 0.0
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            WindowedStats(0)
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError, match="width_s"):
+            WindowedStats(4, width_s=0.0)

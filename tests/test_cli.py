@@ -230,6 +230,45 @@ class TestRunCommand:
         assert "elapsed_seconds" in payload
         assert "resilience" not in payload  # no plan installed
 
+    def test_json_tier_report_for_explicit_tiers_only(self, capsys):
+        """Per-tier occupancy/hit-rate telemetry rides on --json for
+        explicit-tier runs, and never leaks into default-layout output
+        or the digestable payload."""
+        import json as json_mod
+
+        assert main(["run", "--workload", "thrasher", "--scale", "0.03",
+                     "--json"]) == 0
+        assert "tier_report" not in json_mod.loads(
+            capsys.readouterr().out
+        )
+        assert main(["run", "--workload", "thrasher", "--scale", "0.03",
+                     "--tiers", "two-tier", "--json"]) == 0
+        report = json_mod.loads(capsys.readouterr().out)["tier_report"]
+        names = [t["name"] for t in report["tiers"]]
+        assert names == ["l1", "l2"]
+        capped = report["tiers"][0]
+        assert capped["frames"] >= 0
+        assert capped["max_frames"] is not None
+        assert 0.0 <= capped["occupancy"] <= 1.0
+        assert "windowed_miss_fraction" in report
+
+    def test_tier_digest_ignores_the_tier_report(self, capsys):
+        """--digest hashes RunResult.as_dict() alone, so adding the CLI
+        tier report must not move any pinned digest."""
+        argv = ["run", "--workload", "thrasher", "--scale", "0.03",
+                "--tiers", "two-tier", "--digest"]
+        assert main(argv) == 0
+        digest = capsys.readouterr().out.strip()
+        assert len(digest) == 64
+
+    def test_control_flag_runs_and_reports(self, capsys):
+        import json as json_mod
+
+        assert main(["run", "--workload", "thrasher", "--scale", "0.03",
+                     "--tiers", "two-tier", "--control", "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["control"]["ticks"] > 0
+
 
 class TestLfsCommands:
     def test_lfs_run(self, capsys):

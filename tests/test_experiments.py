@@ -3,9 +3,11 @@
 import pytest
 
 from repro.experiments import (
+    EXPERIMENTS,
     PAPER_TABLE1,
     TABLE1_ORDER,
     Figure3Point,
+    experiment_names,
     figure3_sweep,
     render_figure1,
     render_table1,
@@ -91,3 +93,39 @@ class TestFigure1Rendering:
         assert "Figure 1(a)" in text
         assert "Figure 1(b)" in text
         assert "c=16" in text
+
+
+class TestExperimentRegistry:
+    """The CLI derives its --experiment choices from the registry; this
+    is the drift guard that keeps the two from diverging again."""
+
+    def test_registry_names_are_stable(self):
+        assert experiment_names() == (
+            "figure3", "table1", "ablations", "tiers",
+            "kernels", "lfs", "control",
+        )
+
+    def test_cli_choices_come_from_the_registry(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sweep = next(
+            action
+            for action in parser._subparsers._group_actions[0]
+            .choices["sweep"]._actions
+            if action.dest == "experiment"
+        )
+        assert tuple(sweep.choices) == experiment_names()
+
+    def test_every_experiment_builds_points(self):
+        options = {"mode": "both", "seed": 0}
+        for name, experiment in EXPERIMENTS.items():
+            points = experiment.points(0.05, options)
+            assert points, f"{name} produced no sweep points"
+            keys = [p.key for p in points]
+            assert len(keys) == len(set(keys)), f"{name} has dup keys"
+
+    def test_renderers_are_wired_where_output_exists(self):
+        rendered = {n for n, e in EXPERIMENTS.items()
+                    if e.render is not None}
+        assert rendered == {"kernels", "lfs", "control"}

@@ -1,0 +1,129 @@
+"""Relaunch and diurnal workloads: determinism, counts, shape, errors.
+
+Both exist to exercise the tier controller (their working sets shift in
+ways no static geometry matches), so the properties that matter are the
+controller-facing ones: bit-for-bit deterministic schedules, an exact
+``total_references`` budget, and phase/session structure that actually
+moves the working set around.
+"""
+
+import pytest
+
+from repro.mem.page import mbytes
+from repro.workloads import AppRelaunchWorkload, DiurnalWorkload
+
+
+def drain(workload):
+    workload.build()
+    return list(workload.references())
+
+
+class TestRelaunch:
+    def test_schedule_is_deterministic_per_seed(self):
+        a = AppRelaunchWorkload(mbytes(0.2), seed=3)
+        b = AppRelaunchWorkload(mbytes(0.2), seed=3)
+        assert a._schedule == b._schedule
+        refs_a = [(r.page_id, r.write) for r in drain(a)]
+        refs_b = [(r.page_id, r.write) for r in drain(b)]
+        assert refs_a == refs_b
+
+    def test_different_seeds_give_different_schedules(self):
+        schedules = {
+            tuple(AppRelaunchWorkload(mbytes(0.2), seed=s)._schedule)
+            for s in range(8)
+        }
+        assert len(schedules) > 1
+
+    def test_every_session_switches_apps(self):
+        w = AppRelaunchWorkload(mbytes(0.2), apps=3, sessions=12, seed=1)
+        assert w._schedule[0] == 0
+        for prev, cur in zip(w._schedule, w._schedule[1:]):
+            assert prev != cur  # a relaunch, never a foreground no-op
+
+    def test_total_references_matches_emitted_count(self):
+        w = AppRelaunchWorkload(mbytes(0.3), apps=3, sessions=5,
+                                hot_passes=2, seed=2)
+        assert len(drain(w)) == w.total_references()
+
+    def test_apps_have_distinct_footprints(self):
+        w = AppRelaunchWorkload(mbytes(0.3), apps=3)
+        assert len(set(w._npages)) > 1
+
+    def test_foreground_writes_are_emitted(self):
+        refs = drain(AppRelaunchWorkload(mbytes(0.2), sessions=2))
+        assert any(r.write for r in refs)
+        assert not any(
+            r.write for r in drain(
+                AppRelaunchWorkload(mbytes(0.2), sessions=2, write=False)
+            )
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="app_bytes"):
+            AppRelaunchWorkload(0)
+        with pytest.raises(ValueError, match="at least 2 apps"):
+            AppRelaunchWorkload(mbytes(0.2), apps=1)
+        with pytest.raises(ValueError, match="sessions"):
+            AppRelaunchWorkload(mbytes(0.2), sessions=0)
+        with pytest.raises(ValueError, match="hot_fraction"):
+            AppRelaunchWorkload(mbytes(0.2), hot_fraction=1.5)
+        with pytest.raises(ValueError, match="hot_passes"):
+            AppRelaunchWorkload(mbytes(0.2), hot_passes=-1)
+
+
+class TestDiurnal:
+    def test_phase_sizes_form_a_triangle_wave(self):
+        w = DiurnalWorkload(mbytes(0.4), phases=8, trough_fraction=0.25)
+        sizes = w.phase_pages()
+        assert len(sizes) == 8
+        peak = max(sizes)
+        assert sizes[0] == min(sizes)  # starts at the trough
+        assert sizes.index(peak) == 4  # peaks mid-cycle
+        assert peak == w.npages
+        # Monotone rise then monotone fall.
+        assert all(a <= b for a, b in zip(sizes[:5], sizes[1:5]))
+        assert all(a >= b for a, b in zip(sizes[4:], sizes[5:]))
+
+    def test_trough_respects_fraction(self):
+        w = DiurnalWorkload(mbytes(0.4), trough_fraction=0.5)
+        trough = max(1, int(w.npages * 0.5))
+        assert min(w.phase_pages()) == trough
+
+    def test_total_references_matches_emitted_count(self):
+        w = DiurnalWorkload(mbytes(0.3), phases=6, passes_per_phase=3)
+        assert len(drain(w)) == w.total_references()
+
+    def test_stream_is_deterministic(self):
+        def refs():
+            w = DiurnalWorkload(mbytes(0.2), phases=4, seed=5)
+            return [(r.page_id, r.write) for r in drain(w)]
+
+        assert refs() == refs()
+
+    def test_cold_pages_rest_for_whole_phases(self):
+        """Pages above the trough vanish from the stream during the
+        night phases — that cold tail is the controller's raw material."""
+        w = DiurnalWorkload(mbytes(0.4), phases=8, passes_per_phase=1)
+        sizes = w.phase_pages()
+        refs = drain(w)
+        # Split the flat stream back into per-phase chunks.
+        start = 0
+        seen_rest = False
+        for active in sizes:
+            chunk = refs[start:start + active]
+            start += active
+            numbers = {r.page_id.number for r in chunk}
+            assert numbers == set(range(active))
+            if active < w.npages:
+                seen_rest = True
+        assert seen_rest
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="space_bytes"):
+            DiurnalWorkload(0)
+        with pytest.raises(ValueError, match="phases"):
+            DiurnalWorkload(mbytes(0.2), phases=1)
+        with pytest.raises(ValueError, match="passes_per_phase"):
+            DiurnalWorkload(mbytes(0.2), passes_per_phase=0)
+        with pytest.raises(ValueError, match="trough_fraction"):
+            DiurnalWorkload(mbytes(0.2), trough_fraction=0.0)
